@@ -1,0 +1,97 @@
+package arcc_test
+
+import (
+	"io"
+	"testing"
+
+	"arcc/internal/experiments"
+)
+
+// The benchmarks below regenerate the paper's tables and figures — one
+// benchmark per exhibit, as the repository's reproduction entry points.
+// They run the Quick profile so `go test -bench=.` finishes in minutes; the
+// cmd/arcc-experiments binary runs the full-scale versions. Each benchmark
+// also renders the exhibit (to io.Discard) so the formatting code is
+// exercised.
+
+var quick = experiments.Options{Quick: true}
+
+func BenchmarkTable71(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FprintTable71(io.Discard)
+	}
+}
+
+func BenchmarkTable72(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FprintTable72(io.Discard)
+	}
+}
+
+func BenchmarkTable73(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FprintTable73(io.Discard)
+	}
+}
+
+func BenchmarkTable74(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FprintTable74(io.Discard)
+	}
+}
+
+func BenchmarkFig31FaultyMemoryVsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig31(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig61ReliabilityComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig61(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig71PowerAndPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig71(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig72PowerWithFault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig72(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig73PerformanceWithFault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig73(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig74PowerOverheadLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig74(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig75PerfOverheadLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig75(quick)
+		r.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig76ARCCOnLOTECC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig76(quick)
+		r.Fprint(io.Discard)
+	}
+}

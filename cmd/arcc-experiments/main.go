@@ -1,0 +1,72 @@
+// Command arcc-experiments regenerates the tables and figures of the ARCC
+// paper's evaluation.
+//
+// Usage:
+//
+//	arcc-experiments [-exhibit all|t7.1|t7.2|t7.3|t7.4|f3.1|f6.1|f7.1|f7.2|f7.3|f7.4|f7.5|f7.6]
+//	                 [-quick] [-seed N]
+//
+// Without flags it reproduces everything at paper scale (10 000 Monte Carlo
+// channels, 1 M instructions per core), which takes a few minutes; -quick
+// cuts the volume for a fast look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arcc/internal/experiments"
+)
+
+func main() {
+	exhibit := flag.String("exhibit", "all", "which exhibit to regenerate (all, t7.1..t7.4, f3.1, f6.1, f7.1..f7.6, due, ablations)")
+	quick := flag.Bool("quick", false, "reduced simulation volume")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	w := os.Stdout
+
+	type runner struct {
+		key string
+		run func()
+	}
+	all := []runner{
+		{"t7.1", func() { experiments.FprintTable71(w) }},
+		{"t7.2", func() { experiments.FprintTable72(w) }},
+		{"t7.3", func() { experiments.FprintTable73(w) }},
+		{"t7.4", func() { experiments.FprintTable74(w) }},
+		{"f3.1", func() { experiments.Fig31(o).Fprint(w) }},
+		{"f6.1", func() { experiments.Fig61(o).Fprint(w) }},
+		{"f7.1", func() { experiments.Fig71(o).Fprint(w) }},
+		{"f7.2", func() { experiments.Fig72(o).Fprint(w) }},
+		{"f7.3", func() { experiments.Fig73(o).Fprint(w) }},
+		{"f7.4", func() { experiments.Fig74(o).Fprint(w) }},
+		{"f7.5", func() { experiments.Fig75(o).Fprint(w) }},
+		{"f7.6", func() { experiments.Fig76(o).Fprint(w) }},
+		{"due", func() { experiments.DUEAnalysis().Fprint(w) }},
+		{"ablations", func() {
+			experiments.FprintAblationScrub(w)
+			fmt.Fprintln(w)
+			experiments.AblationLLCPolicy(o).Fprint(w)
+			fmt.Fprintln(w)
+			experiments.AblationPairing(o).Fprint(w)
+		}},
+	}
+
+	want := strings.ToLower(*exhibit)
+	ran := false
+	for _, r := range all {
+		if want == "all" || want == r.key {
+			r.run()
+			fmt.Fprintln(w)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *exhibit)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,64 @@
+// Command arcc-faultsim runs the reliability Monte Carlo directly: the
+// faulty-page fraction over a memory channel's lifetime (Fig 3.1), the
+// lifetime power-overhead series (Fig 7.4 style), and the closed-form SDC
+// models (Fig 6.1), with configurable fault rates and scrub interval.
+//
+// Usage:
+//
+//	arcc-faultsim [-years 7] [-channels 10000] [-factor 1] [-scrub 4]
+//	              [-ranks 2] [-devices 36] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/reliability"
+)
+
+func main() {
+	years := flag.Int("years", 7, "operational lifespan in years")
+	channels := flag.Int("channels", 10000, "Monte Carlo channels")
+	factor := flag.Float64("factor", 1, "fault-rate factor over the field study")
+	scrub := flag.Float64("scrub", 4, "scrub interval in hours")
+	ranks := flag.Int("ranks", 2, "ranks per channel")
+	devices := flag.Int("devices", 36, "devices per rank")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rates := faultmodel.FieldStudyRates().Scale(*factor)
+	rng := rand.New(rand.NewSource(*seed))
+	shape := faultmodel.ARCCChannelShape()
+
+	fmt.Printf("Fault rates (%gx field study), %d x %d-device ranks, %d channels, %d years\n\n",
+		*factor, *ranks, *devices, *channels, *years)
+
+	fmt.Println("Faulty-page fraction by year (Fig 3.1 methodology):")
+	frac := reliability.FaultyPageFraction(rng, rates, shape, *ranks, *devices, *years, *channels)
+	for y, f := range frac {
+		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
+	}
+
+	fmt.Println("\nLifetime worst-case power overhead (Fig 7.4 methodology, factor 2 on upgraded pages):")
+	ov := reliability.WorstCaseOverheads(shape, 2)
+	overhead := reliability.LifetimeOverhead(rng, rates, *ranks, *devices, *years, *channels, ov, 1)
+	for y, f := range overhead {
+		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
+	}
+
+	p := reliability.Params{
+		Rates:           rates,
+		RanksPerChannel: *ranks,
+		DevicesPerRank:  *devices,
+		Geom:            reliability.RankGeom{Devices: *devices, Banks: 8, Rows: 16384, Cols: 64},
+		ScrubHours:      *scrub,
+		LifeYears:       float64(*years),
+	}
+	fmt.Println("\nSDC models (Fig 6.1 methodology):")
+	arcc := reliability.SDCsPer1000MachineYears(reliability.ARCCDEDExpectedSDCs(p), p.LifeYears)
+	sccdcd := reliability.SDCsPer1000MachineYears(reliability.SCCDCDExpectedSDCs(p), p.LifeYears)
+	fmt.Printf("  SCCDCD DED: %.3e SDCs per 1000 machine-years\n", sccdcd)
+	fmt.Printf("  ARCC DED:   %.3e SDCs per 1000 machine-years\n", arcc)
+}

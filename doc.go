@@ -1,0 +1,19 @@
+// Package arcc is a from-scratch reproduction of "Adaptive Reliability
+// Chipkill Correct (ARCC)" (Jian & Kumar, HPCA 2013): an adaptive chipkill
+// memory system that keeps fault-free pages in a cheap 2-check-symbol mode
+// and upgrades faulty pages, page by page, to a 4-check-symbol mode by
+// joining codewords across two memory channels.
+//
+// The implementation lives under internal/: Galois-field arithmetic and a
+// Reed–Solomon codec at the bottom; chipkill ECC schemes (commercial
+// SCCDCD, double chip sparing, LOT-ECC, VECC); DRAM, power, cache, memory
+// controller and CPU models; the ARCC controller itself (internal/core);
+// the enhanced scrubber; and the reliability and experiment harnesses that
+// regenerate every table and figure of the paper's evaluation. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// The benchmarks in bench_test.go regenerate one table or figure each:
+//
+//	go test -bench=. -benchmem .
+package arcc

@@ -1,0 +1,56 @@
+// Server lifetime: plays seven years of field-study fault arrivals against
+// the reliability models, showing how much of the memory ends up upgraded
+// and what it costs — the Fig 3.1 / Fig 7.4 story for a single server.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/reliability"
+)
+
+func main() {
+	const years = 7
+	const channels = 5000
+	rng := rand.New(rand.NewSource(2026))
+	shape := faultmodel.ARCCChannelShape()
+	rates := faultmodel.FieldStudyRates()
+
+	// One concrete server: sample a single channel's fault history.
+	fmt.Println("one server's fault history (72 devices, 7 years):")
+	arrivals := faultmodel.SampleArrivals(rng, rates.Scale(20), 2, 36, years) // 20x rates so the story has events
+	if len(arrivals) == 0 {
+		fmt.Println("  (no faults)")
+	}
+	upgradedFraction := 0.0
+	for _, a := range arrivals {
+		span := shape.UpgradedFraction(a.Type)
+		upgradedFraction += span
+		if upgradedFraction > 1 {
+			upgradedFraction = 1
+		}
+		fmt.Printf("  year %.2f: %-7v fault (rank %2d, device %2d) -> +%.4f%% of pages upgraded (total %.4f%%)\n",
+			a.AtHours/faultmodel.HoursPerYear, a.Type, a.Rank, a.Device, span*100, upgradedFraction*100)
+	}
+
+	// The fleet view: average faulty-page fraction per year (Fig 3.1).
+	fmt.Printf("\nfleet average over %d channels (1x field-study rates):\n", channels)
+	frac := reliability.FaultyPageFraction(rng, rates, shape, 2, 36, years, channels)
+	frac4 := reliability.FaultyPageFraction(rng, rates.Scale(4), shape, 2, 36, years, channels)
+	fmt.Printf("  %-6s %-12s %-12s\n", "year", "1x rates", "4x rates")
+	for y := 0; y < years; y++ {
+		fmt.Printf("  %-6d %10.4f%% %10.4f%%\n", y+1, frac[y]*100, frac4[y]*100)
+	}
+
+	// What it costs: worst-case lifetime power overhead (Fig 7.4).
+	ov := reliability.WorstCaseOverheads(shape, 2)
+	overhead := reliability.LifetimeOverhead(rng, rates, 2, 36, years, channels, ov, 1)
+	fmt.Printf("\nworst-case average power overhead (vs fault-free ARCC):\n")
+	for y := 0; y < years; y++ {
+		fmt.Printf("  year %d: %.3f%%\n", y+1, overhead[y]*100)
+	}
+	fmt.Printf("\neven at year %d the overhead is tiny next to the ~37%% fault-free saving —\n", years)
+	fmt.Println("that asymmetry is the entire ARCC bet.")
+}

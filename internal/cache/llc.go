@@ -1,0 +1,260 @@
+// Package cache models the last-level cache with ARCC's modifications
+// (§4.2.3): 64 B cachelines plus an upgraded-line tag bit; the two 64 B
+// sub-lines of a 128 B upgraded line live in adjacent sets (their physical
+// addresses are consecutive), are written back to memory *together* so all
+// four check symbols per codeword stay consistent, and share a recency value
+// so one sub-line's reuse keeps both resident.
+package cache
+
+import "fmt"
+
+// Line address convention: a cacheline is identified by its 64 B line index
+// (byte address / 64). The partner sub-line of an upgraded line at address a
+// is a^1 — the adjacent line, which maps to the adjacent set.
+
+// Eviction describes one line pushed out of the cache.
+type Eviction struct {
+	Addr     uint64
+	Dirty    bool
+	Upgraded bool
+	// PairedWith is the partner address written back together with this
+	// line when it belongs to an upgraded pair (valid when Upgraded).
+	PairedWith uint64
+}
+
+// Policy selects how upgraded pairs are treated by replacement.
+type Policy int
+
+const (
+	// SharedRecency is the paper's design: a sub-line's replacement
+	// recency is the max of both sub-lines' recencies, and evicting one
+	// sub-line evicts (and pairs the write-back of) the other.
+	SharedRecency Policy = iota
+	// IndependentLRU treats sub-lines as unrelated lines except that
+	// eviction of a dirty sub-line still drags its partner out for the
+	// paired write-back. Kept for the ablation benchmarks.
+	IndependentLRU
+)
+
+type way struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	upgraded bool
+	lastUse  int64
+}
+
+// LLC is a set-associative write-back, write-allocate cache.
+type LLC struct {
+	sets     [][]way
+	numSets  uint64
+	assoc    int
+	policy   Policy
+	clock    int64
+	tagReads int64
+
+	hits, misses, writebacks int64
+}
+
+// New builds an LLC of sizeBytes with the given associativity and 64 B
+// lines. Table 7.2's L2 is 1 MB, 16-way.
+func New(sizeBytes, assoc int, policy Policy) *LLC {
+	if sizeBytes <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache: invalid size %d / assoc %d", sizeBytes, assoc))
+	}
+	lines := sizeBytes / 64
+	if lines%assoc != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by associativity %d", lines, assoc))
+	}
+	numSets := lines / assoc
+	if numSets < 2 {
+		panic("cache: need at least 2 sets for paired sub-lines")
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", numSets))
+	}
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	return &LLC{sets: sets, numSets: uint64(numSets), assoc: assoc, policy: policy}
+}
+
+func (c *LLC) setIndex(addr uint64) uint64 { return addr & (c.numSets - 1) }
+func (c *LLC) tagOf(addr uint64) uint64    { return addr >> uint(trailingZeros(c.numSets)) }
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *LLC) find(addr uint64) *way {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	c.tagReads++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access looks up addr, updating recency and the dirty bit on a hit.
+// It reports whether the access hit.
+func (c *LLC) Access(addr uint64, write bool) bool {
+	c.clock++
+	if w := c.find(addr); w != nil {
+		c.hits++
+		w.lastUse = c.clock
+		if write {
+			w.dirty = true
+		}
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports residency without touching recency or statistics.
+func (c *LLC) Contains(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr after a miss. For upgraded lines both sub-lines
+// (addr&^1 and addr|1) are inserted — the memory returned the whole 128 B
+// line. Returns the evictions this caused. write marks the *requested*
+// line dirty.
+func (c *LLC) Insert(addr uint64, upgraded, write bool) []Eviction {
+	c.clock++
+	if !upgraded {
+		return c.insertOne(addr, false, write)
+	}
+	var evictions []Eviction
+	lo, hi := addr&^uint64(1), addr|1
+	evictions = append(evictions, c.insertOne(lo, true, write && addr == lo)...)
+	evictions = append(evictions, c.insertOne(hi, true, write && addr == hi)...)
+	return evictions
+}
+
+func (c *LLC) insertOne(addr uint64, upgraded, dirty bool) []Eviction {
+	if w := c.find(addr); w != nil {
+		// Already resident (e.g. partner was brought in earlier).
+		w.lastUse = c.clock
+		w.upgraded = w.upgraded || upgraded
+		w.dirty = w.dirty || dirty
+		return nil
+	}
+	set := c.sets[c.setIndex(addr)]
+	victim := c.pickVictim(addr, set)
+	var evictions []Eviction
+	if victim.valid {
+		evictions = c.evict(victim, c.setIndex(addr))
+	}
+	*victim = way{tag: c.tagOf(addr), valid: true, dirty: dirty, upgraded: upgraded, lastUse: c.clock}
+	return evictions
+}
+
+// pickVictim selects the LRU way. Under SharedRecency, a sub-line of an
+// upgraded pair is judged by the most recent use of either sub-line, which
+// costs a second tag access (counted; the paper doubles replacement time
+// and observes no slowdown).
+func (c *LLC) pickVictim(addr uint64, set []way) *way {
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	setIdx := c.setIndex(addr)
+	best := 0
+	bestRecency := int64(1<<62 - 1)
+	for i := range set {
+		rec := set[i].lastUse
+		if c.policy == SharedRecency && set[i].upgraded {
+			if p := c.partnerOf(&set[i], setIdx); p != nil {
+				c.tagReads++
+				if p.lastUse > rec {
+					rec = p.lastUse
+				}
+			}
+		}
+		if rec < bestRecency {
+			bestRecency = rec
+			best = i
+		}
+	}
+	return &set[best]
+}
+
+// partnerOf finds the partner sub-line of w (which lives in the adjacent
+// set with the same tag), or nil if it is not resident.
+func (c *LLC) partnerOf(w *way, setIdx uint64) *way {
+	addr := w.tag<<uint(trailingZeros(c.numSets)) | setIdx
+	partner := addr ^ 1
+	set := c.sets[c.setIndex(partner)]
+	tag := c.tagOf(partner)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// evict removes w and, for upgraded sub-lines, also removes the partner so
+// both halves write back together.
+func (c *LLC) evict(w *way, setIdx uint64) []Eviction {
+	addr := w.tag<<uint(trailingZeros(c.numSets)) | setIdx
+	ev := Eviction{Addr: addr, Dirty: w.dirty, Upgraded: w.upgraded}
+	if !w.upgraded {
+		if w.dirty {
+			c.writebacks++
+		}
+		w.valid = false
+		return []Eviction{ev}
+	}
+	partnerAddr := addr ^ 1
+	ev.PairedWith = partnerAddr
+	out := []Eviction{ev}
+	if p := c.partnerOf(w, setIdx); p != nil {
+		// Either sub-line dirty forces the pair to write back together.
+		out = append(out, Eviction{Addr: partnerAddr, Dirty: p.dirty, Upgraded: true, PairedWith: addr})
+		if w.dirty || p.dirty {
+			out[0].Dirty = true
+			out[1].Dirty = true
+			c.writebacks += 2
+		}
+		p.valid = false
+	} else if w.dirty {
+		c.writebacks++
+	}
+	w.valid = false
+	return out
+}
+
+// Stats returns hit/miss/writeback counters and total tag reads (the extra
+// tag read per replacement is the overhead §4.2.3 discusses).
+func (c *LLC) Stats() (hits, misses, writebacks, tagReads int64) {
+	return c.hits, c.misses, c.writebacks, c.tagReads
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *LLC) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,266 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newSmall(policy Policy) *LLC {
+	// 8 KB, 2-way: 64 sets — small enough to force evictions quickly.
+	return New(8*1024, 2, policy)
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero size":   func() { New(0, 2, SharedRecency) },
+		"zero assoc":  func() { New(1024, 0, SharedRecency) },
+		"indivisible": func() { New(64*3, 2, SharedRecency) },
+		"one set":     func() { New(128, 2, SharedRecency) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newSmall(SharedRecency)
+	if c.Access(100, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Insert(100, false, false)
+	if !c.Access(100, false) {
+		t.Fatal("access after insert missed")
+	}
+	hits, misses, _, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newSmall(SharedRecency) // 64 sets, 2 ways
+	// Three addresses in the same set (stride = numSets).
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Insert(a, false, false)
+	c.Insert(b, false, false)
+	c.Access(a, false) // b becomes LRU
+	ev := c.Insert(d, false, false)
+	if len(ev) != 1 || ev[0].Addr != b {
+		t.Fatalf("evictions = %+v, want [b=64]", ev)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(0, false, true) // dirty
+	c.Insert(64, false, false)
+	ev := c.Insert(128, false, false) // evicts 0 (LRU)
+	if len(ev) != 1 || !ev[0].Dirty {
+		t.Fatalf("evictions = %+v, want dirty eviction of 0", ev)
+	}
+	_, _, wb, _ := c.Stats()
+	if wb != 1 {
+		t.Fatalf("writebacks = %d, want 1", wb)
+	}
+}
+
+func TestUpgradedInsertBringsBothSubLines(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(10, true, false)
+	if !c.Contains(10) || !c.Contains(11) {
+		t.Fatal("upgraded insert must fill both sub-lines")
+	}
+	// Sub-lines land in adjacent sets.
+	if c.setIndex(10) == c.setIndex(11) {
+		t.Fatal("sub-lines should map to different (adjacent) sets")
+	}
+}
+
+func TestUpgradedPairEvictsTogether(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(10, true, true) // pair {10, 11}, 10 dirty
+	// Force eviction of 10 by filling its set (set index 10, 2 ways) with
+	// same-set addresses; collect evictions across all inserts.
+	var ev []Eviction
+	for _, a := range []uint64{10 + 64, 10 + 128, 10 + 192} {
+		ev = append(ev, c.Insert(a, false, false)...)
+	}
+	var sawPair int
+	for _, e := range ev {
+		if e.Addr == 10 || e.Addr == 11 {
+			sawPair++
+			if !e.Upgraded {
+				t.Fatal("pair eviction not flagged upgraded")
+			}
+			if !e.Dirty {
+				t.Fatal("either-dirty must force both sub-lines to write back dirty")
+			}
+		}
+	}
+	if sawPair != 2 {
+		t.Fatalf("evicting one sub-line evicted %d pair members, want 2 (%+v)", sawPair, ev)
+	}
+	if c.Contains(11) {
+		t.Fatal("partner sub-line still resident after pair eviction")
+	}
+}
+
+func TestSharedRecencyProtectsPartner(t *testing.T) {
+	// Pair {0, 1}; only sub-line 1 is reused. Under SharedRecency the
+	// reuse of 1 must protect 0 from eviction.
+	c := newSmall(SharedRecency)
+	c.Insert(0, true, false) // pair {0,1}: 0 in set 0, 1 in set 1
+	c.Insert(64, false, false)
+	c.Access(1, false)                // refresh partner's recency
+	c.Access(64, false)               // refresh competitor too... make 64 newer than 0's own use
+	c.Access(1, false)                // partner newest overall
+	ev := c.Insert(128, false, false) // set 0 is full: {0, 64}
+	if len(ev) != 1 {
+		t.Fatalf("evictions %+v", ev)
+	}
+	if ev[0].Addr != 64 {
+		t.Fatalf("evicted %d, want 64: shared recency should protect sub-line 0", ev[0].Addr)
+	}
+}
+
+func TestIndependentLRUDoesNotProtectPartner(t *testing.T) {
+	c := newSmall(IndependentLRU)
+	c.Insert(0, true, false)
+	c.Insert(64, false, false)
+	c.Access(1, false)
+	c.Access(64, false)
+	c.Access(1, false)
+	ev := c.Insert(128, false, false)
+	// Under independent LRU, sub-line 0's own recency is oldest, so the
+	// pair gets evicted despite partner reuse.
+	found := false
+	for _, e := range ev {
+		if e.Addr == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("independent LRU should evict sub-line 0 (evictions %+v)", ev)
+	}
+}
+
+func TestPartnerReinsertIsIdempotent(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(20, true, false)
+	c.Insert(21, true, true) // partner already resident; must not duplicate
+	if !c.Contains(20) || !c.Contains(21) {
+		t.Fatal("pair should be resident")
+	}
+	// Count resident copies of 21's tag in its set.
+	set := c.sets[c.setIndex(21)]
+	tag := c.tagOf(21)
+	n := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d copies of line 21 resident, want 1", n)
+	}
+}
+
+func TestWriteMarksOnlyRequestedSubLineDirty(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(30, true, true) // write to even sub-line
+	// Evict the pair and check dirtiness: 30 dirty, and pair write-back
+	// policy promotes both to dirty together.
+	c.Insert(30+64, false, false)
+	c.Insert(30+128, false, false)
+	ev := c.Insert(30+192, false, false)
+	for _, e := range ev {
+		if (e.Addr == 30 || e.Addr == 31) && !e.Dirty {
+			t.Fatalf("pair member %d not dirty on paired write-back", e.Addr)
+		}
+	}
+}
+
+func TestTagReadsCountedForSharedRecency(t *testing.T) {
+	c := newSmall(SharedRecency)
+	c.Insert(0, true, false)
+	c.Insert(64, false, false)
+	_, _, _, before := c.Stats()
+	c.Insert(128, false, false) // replacement in set 0 examines partner tag
+	_, _, _, after := c.Stats()
+	if after <= before {
+		t.Fatal("replacement did not record extra tag reads")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := newSmall(SharedRecency)
+	if c.HitRate() != 0 {
+		t.Fatal("hit rate before any access")
+	}
+	c.Insert(5, false, false)
+	c.Access(5, false)
+	c.Access(6, false)
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestRandomizedInvariantNoDuplicateResidency(t *testing.T) {
+	c := New(16*1024, 4, SharedRecency)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(4096))
+		upgraded := rng.Intn(3) == 0
+		write := rng.Intn(2) == 0
+		if !c.Access(addr, write) {
+			c.Insert(addr, upgraded, write)
+		}
+	}
+	// Invariant: no tag appears twice in a set.
+	for si, set := range c.sets {
+		seen := map[uint64]bool{}
+		for _, w := range set {
+			if !w.valid {
+				continue
+			}
+			if seen[w.tag] {
+				t.Fatalf("set %d holds duplicate tag %d", si, w.tag)
+			}
+			seen[w.tag] = true
+		}
+	}
+}
+
+func TestSpatialWorkloadBenefitsFromUpgradedPrefetch(t *testing.T) {
+	// With strong spatial locality, inserting 128 B pairs should raise the
+	// hit rate versus 64 B fills — the "useful prefetch" effect of §7.2.
+	run := func(upgraded bool) float64 {
+		c := New(64*1024, 8, SharedRecency)
+		rng := rand.New(rand.NewSource(2))
+		addr := uint64(0)
+		for i := 0; i < 200000; i++ {
+			if rng.Float64() < 0.8 {
+				addr++
+			} else {
+				addr = uint64(rng.Intn(1 << 20))
+			}
+			if !c.Access(addr, false) {
+				c.Insert(addr, upgraded, false)
+			}
+		}
+		return c.HitRate()
+	}
+	relaxed, upgraded := run(false), run(true)
+	if upgraded <= relaxed {
+		t.Fatalf("upgraded-line prefetch did not help a sequential workload: %v <= %v", upgraded, relaxed)
+	}
+}

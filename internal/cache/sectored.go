@@ -1,0 +1,160 @@
+package cache
+
+import "fmt"
+
+// Sectored is the alternative LLC organisation §4.2.3 mentions (Rothman &
+// Smith's sector cache): 128 B sectors, one tag per sector, two 64 B
+// sub-sector valid/dirty bits. Upgraded lines fill a whole sector; relaxed
+// lines fill one sub-sector and leave the other invalid, which is exactly
+// the capacity waste that made the paper prefer the paired-set design for
+// workloads with low spatial locality.
+type Sectored struct {
+	sets    [][]sector
+	numSets uint64
+	assoc   int
+	clock   int64
+
+	hits, misses, writebacks int64
+}
+
+type sector struct {
+	tag      uint64
+	valid    [2]bool
+	dirty    [2]bool
+	upgraded bool
+	lastUse  int64
+}
+
+// NewSectored builds a sectored LLC of sizeBytes with assoc sectors per set.
+func NewSectored(sizeBytes, assoc int) *Sectored {
+	if sizeBytes <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache: invalid size %d / assoc %d", sizeBytes, assoc))
+	}
+	sectors := sizeBytes / 128
+	if sectors%assoc != 0 {
+		panic(fmt.Sprintf("cache: %d sectors not divisible by associativity %d", sectors, assoc))
+	}
+	numSets := sectors / assoc
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: sector set count %d must be a positive power of two", numSets))
+	}
+	sets := make([][]sector, numSets)
+	backing := make([]sector, numSets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	return &Sectored{sets: sets, numSets: uint64(numSets), assoc: assoc}
+}
+
+// sectorOf splits a line address into (sector address, sub-sector index).
+func sectorOf(addr uint64) (uint64, int) { return addr >> 1, int(addr & 1) }
+
+func (c *Sectored) setIndex(sectorAddr uint64) uint64 { return sectorAddr & (c.numSets - 1) }
+func (c *Sectored) tagOf(sectorAddr uint64) uint64 {
+	return sectorAddr >> uint(trailingZeros(c.numSets))
+}
+
+func (c *Sectored) find(sectorAddr uint64) *sector {
+	set := c.sets[c.setIndex(sectorAddr)]
+	tag := c.tagOf(sectorAddr)
+	for i := range set {
+		if (set[i].valid[0] || set[i].valid[1]) && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access looks up addr; a hit requires both a tag match and a valid
+// sub-sector.
+func (c *Sectored) Access(addr uint64, write bool) bool {
+	c.clock++
+	sa, sub := sectorOf(addr)
+	if s := c.find(sa); s != nil && s.valid[sub] {
+		c.hits++
+		s.lastUse = c.clock
+		if write {
+			s.dirty[sub] = true
+		}
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Insert fills addr after a miss. Upgraded fills validate both sub-sectors
+// (the memory returned 128 B); relaxed fills validate only the requested
+// one.
+func (c *Sectored) Insert(addr uint64, upgraded, write bool) []Eviction {
+	c.clock++
+	sa, sub := sectorOf(addr)
+	if s := c.find(sa); s != nil {
+		// Sector present: validate the missing sub-sector(s).
+		s.lastUse = c.clock
+		s.valid[sub] = true
+		if upgraded {
+			s.valid[0], s.valid[1] = true, true
+			s.upgraded = true
+		}
+		if write {
+			s.dirty[sub] = true
+		}
+		return nil
+	}
+	set := c.sets[c.setIndex(sa)]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid[0] && !set[i].valid[1] {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	var evictions []Eviction
+	if victim.valid[0] || victim.valid[1] {
+		evictions = c.evictSector(victim, c.setIndex(sa))
+	}
+	*victim = sector{tag: c.tagOf(sa), lastUse: c.clock, upgraded: upgraded}
+	victim.valid[sub] = true
+	if upgraded {
+		victim.valid[0], victim.valid[1] = true, true
+	}
+	if write {
+		victim.dirty[sub] = true
+	}
+	return evictions
+}
+
+func (c *Sectored) evictSector(s *sector, setIdx uint64) []Eviction {
+	base := (s.tag<<uint(trailingZeros(c.numSets)) | setIdx) << 1
+	var out []Eviction
+	pairDirty := s.upgraded && (s.dirty[0] || s.dirty[1])
+	for sub := 0; sub < 2; sub++ {
+		if !s.valid[sub] {
+			continue
+		}
+		dirty := s.dirty[sub] || pairDirty
+		out = append(out, Eviction{Addr: base + uint64(sub), Dirty: dirty, Upgraded: s.upgraded, PairedWith: base + uint64(1-sub)})
+		if dirty {
+			c.writebacks++
+		}
+	}
+	s.valid[0], s.valid[1] = false, false
+	return out
+}
+
+// Stats returns hit/miss/writeback counters.
+func (c *Sectored) Stats() (hits, misses, writebacks int64) {
+	return c.hits, c.misses, c.writebacks
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *Sectored) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

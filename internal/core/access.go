@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"arcc/internal/pagetable"
+)
+
+// pairChannels returns the two channels and the shared slot holding
+// upgraded pair p (lines 2p and 2p+1).
+func (c *Controller) pairChannels(pair int) (chX, chY, slot int) {
+	line := 2 * pair
+	chX, slot = c.channelOf(line)
+	return chX, chX + 1, slot
+}
+
+// ReadLine serves a 64 B line read. For relaxed pages it touches one
+// channel (18 devices); for upgraded pages it reads the line's pair from
+// two channels in lockstep (36 devices); for upgraded8 pages it reads the
+// line's quad from four channels (72 devices). The returned error is
+// ErrUncorrectable for DUEs; the data is then raw and untrusted.
+func (c *Controller) ReadLine(page, line int) ([]byte, error) {
+	c.stats.Reads++
+	switch c.table.Mode(page) {
+	case pagetable.Relaxed:
+		ch, slot := c.channelOf(line)
+		rank, addr := c.addrOf(page, slot)
+		c.stats.SubLineAccesses++
+		stored := c.channels[ch][rank].ReadLine(addr)
+		data, corrected, err := c.decodeRelaxedLine(stored)
+		c.noteOutcome(corrected, err)
+		return data, err
+	case pagetable.Upgraded:
+		pair, err := c.ReadPair(page, line/2)
+		if pair == nil {
+			return nil, err
+		}
+		half := make([]byte, LineBytes)
+		if line%2 == 0 {
+			copy(half, pair[:LineBytes])
+		} else {
+			copy(half, pair[LineBytes:])
+		}
+		return half, err
+	case pagetable.Upgraded8:
+		quad, err := c.ReadQuad(page, line/4)
+		if quad == nil {
+			return nil, err
+		}
+		part := make([]byte, LineBytes)
+		off := (line % 4) * LineBytes
+		copy(part, quad[off:off+LineBytes])
+		return part, err
+	default:
+		panic(fmt.Sprintf("core: page %d in unsupported mode %v", page, c.table.Mode(page)))
+	}
+}
+
+// ReadPair reads upgraded pair p (lines 2p and 2p+1) of page, returning the
+// 128 B payload. Two channels are accessed in lockstep.
+func (c *Controller) ReadPair(page, pair int) ([]byte, error) {
+	if c.table.Mode(page) != pagetable.Upgraded {
+		panic(fmt.Sprintf("core: ReadPair on %v page %d", c.table.Mode(page), page))
+	}
+	chX, chY, slot := c.pairChannels(pair)
+	rank, addr := c.addrOf(page, slot)
+	c.stats.SubLineAccesses += 2
+	storedX := c.channels[chX][rank].ReadLine(addr)
+	storedY := c.channels[chY][rank].ReadLine(addr)
+	data, corrected, err := c.decodeUpgradedPair(storedX, storedY, c.sparedPosOf(page))
+	c.noteOutcome(len(corrected), err)
+	return data, err
+}
+
+// WriteLine serves a 64 B line write. For relaxed pages the line is encoded
+// and stored in its channel. For upgraded/upgraded8 pages the partner
+// sub-lines must be merged so all check symbols per codeword stay
+// consistent: the controller performs the read-modify-write that the LLC
+// normally avoids by writing back whole pairs (use WritePair for that path).
+func (c *Controller) WriteLine(page, line int, data []byte) error {
+	if len(data) != LineBytes {
+		panic(fmt.Sprintf("core: WriteLine with %d bytes, want %d", len(data), LineBytes))
+	}
+	c.stats.Writes++
+	switch c.table.Mode(page) {
+	case pagetable.Relaxed:
+		ch, slot := c.channelOf(line)
+		rank, addr := c.addrOf(page, slot)
+		c.stats.SubLineAccesses++
+		c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data))
+		return nil
+	case pagetable.Upgraded:
+		pair := line / 2
+		current, err := c.ReadPair(page, pair)
+		if err != nil {
+			return err
+		}
+		if line%2 == 0 {
+			copy(current[:LineBytes], data)
+		} else {
+			copy(current[LineBytes:], data)
+		}
+		c.writePairStored(page, pair, current)
+		return nil
+	case pagetable.Upgraded8:
+		quad := line / 4
+		current, err := c.ReadQuad(page, quad)
+		if err != nil {
+			return err
+		}
+		off := (line % 4) * LineBytes
+		copy(current[off:off+LineBytes], data)
+		c.writeQuadStored(page, quad, current)
+		return nil
+	default:
+		panic(fmt.Sprintf("core: page %d in unsupported mode %v", page, c.table.Mode(page)))
+	}
+}
+
+// WritePair writes back a full 128 B upgraded pair — the efficient path the
+// modified LLC uses when evicting both sub-lines together (§4.2.3).
+func (c *Controller) WritePair(page, pair int, data []byte) {
+	if len(data) != 2*LineBytes {
+		panic(fmt.Sprintf("core: WritePair with %d bytes, want %d", len(data), 2*LineBytes))
+	}
+	if c.table.Mode(page) != pagetable.Upgraded {
+		panic(fmt.Sprintf("core: WritePair on %v page %d", c.table.Mode(page), page))
+	}
+	c.stats.Writes += 2
+	c.writePairStored(page, pair, data)
+}
+
+func (c *Controller) writePairStored(page, pair int, data []byte) {
+	chX, chY, slot := c.pairChannels(pair)
+	rank, addr := c.addrOf(page, slot)
+	storedX, storedY := c.encodeUpgradedPair(data, c.sparedPosOf(page))
+	c.stats.SubLineAccesses += 2
+	c.channels[chX][rank].WriteLine(addr, storedX)
+	c.channels[chY][rank].WriteLine(addr, storedY)
+}
+
+func (c *Controller) sparedPosOf(page int) int {
+	if pos, ok := c.sparedPos[page]; ok {
+		return pos
+	}
+	return -1
+}
+
+func (c *Controller) noteOutcome(corrected int, err error) {
+	c.stats.Corrected += int64(corrected)
+	if err != nil {
+		c.stats.DUEs++
+	}
+}
+
+// RawRead returns the 72 stored bytes of one sub-line as the devices return
+// them (fault corruption applied, no ECC). The scrubber's pattern tests use
+// this primitive.
+func (c *Controller) RawRead(page, line int) []byte {
+	ch, slot := c.channelOf(line)
+	rank, addr := c.addrOf(page, slot)
+	return c.channels[ch][rank].ReadLine(addr)
+}
+
+// RawWrite stores 72 raw bytes into one sub-line, bypassing ECC encode. Only
+// the scrubber's pattern tests should use it.
+func (c *Controller) RawWrite(page, line int, raw []byte) {
+	if len(raw) != storedLineBytes {
+		panic(fmt.Sprintf("core: RawWrite with %d bytes, want %d", len(raw), storedLineBytes))
+	}
+	ch, slot := c.channelOf(line)
+	rank, addr := c.addrOf(page, slot)
+	c.channels[ch][rank].WriteLine(addr, raw)
+}
+
+// CorrectLine decodes the ECC context covering line (the line itself when
+// relaxed, its pair/quad when upgraded), writes the corrected content back,
+// and reports how many symbols were repaired. ErrUncorrectable reports a
+// DUE; the stored content is left as-is in that case.
+func (c *Controller) CorrectLine(page, line int) (corrected int, err error) {
+	switch c.table.Mode(page) {
+	case pagetable.Relaxed:
+		ch, slot := c.channelOf(line)
+		rank, addr := c.addrOf(page, slot)
+		stored := c.channels[ch][rank].ReadLine(addr)
+		data, n, derr := c.decodeRelaxedLine(stored)
+		if derr != nil {
+			c.stats.DUEs++
+			return n, derr
+		}
+		if n > 0 {
+			c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data))
+			c.stats.Corrected += int64(n)
+		}
+		return n, nil
+	case pagetable.Upgraded:
+		pair := line / 2
+		chX, chY, slot := c.pairChannels(pair)
+		rank, addr := c.addrOf(page, slot)
+		storedX := c.channels[chX][rank].ReadLine(addr)
+		storedY := c.channels[chY][rank].ReadLine(addr)
+		data, fixed, derr := c.decodeUpgradedPair(storedX, storedY, c.sparedPosOf(page))
+		if derr != nil {
+			c.stats.DUEs++
+			return len(fixed), derr
+		}
+		if len(fixed) > 0 {
+			c.writePairStored(page, pair, data)
+			c.stats.Corrected += int64(len(fixed))
+		}
+		return len(fixed), nil
+	case pagetable.Upgraded8:
+		quad := line / 4
+		stored := c.readQuadStored(page, quad)
+		data, fixed, derr := c.decodeQuad(stored)
+		if derr != nil {
+			c.stats.DUEs++
+			return len(fixed), derr
+		}
+		if len(fixed) > 0 {
+			c.writeQuadStored(page, quad, data)
+			c.stats.Corrected += int64(len(fixed))
+		}
+		return len(fixed), nil
+	default:
+		panic(fmt.Sprintf("core: page %d in unsupported mode %v", page, c.table.Mode(page)))
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import "fmt"
+
+// This file owns the Fig. 4.1 codeword layouts.
+//
+// Relaxed line (one channel, 72 stored bytes, beat-major):
+//
+//	beat c (18 symbols) = codeword c = [ d[16c] .. d[16c+15] | chk0 chk1 ]
+//
+// Upgraded line pair (both channels, 72 stored bytes per channel):
+//
+//	codeword c (36 symbols) =
+//	    [ X-data d[16c]..d[16c+15] | Y-data d[16c]..d[16c+15] | r0 r1 r2 r3 ]
+//	channel X beat c stores symbols {0..15, 32, 33}
+//	channel Y beat c stores symbols {16..31, 34, 35}
+//
+// so each stored symbol still maps to its own device in its own channel and
+// a whole-device fault corrupts exactly one symbol of each codeword.
+
+// storedLineBytes is the per-channel stored size of one line: 4 beats x 18
+// symbols (64 data bytes + 8 redundant bytes).
+const storedLineBytes = codewordsPerLine * 18
+
+// encodeRelaxedLine encodes 64 data bytes into the 72-byte stored format.
+func (c *Controller) encodeRelaxedLine(data []byte) []byte {
+	if len(data) != LineBytes {
+		panic(fmt.Sprintf("core: relaxed encode with %d bytes, want %d", len(data), LineBytes))
+	}
+	out := make([]byte, storedLineBytes)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		copy(out[cw*18:], c.relaxed.Encode(data[cw*dataPerCodeword:(cw+1)*dataPerCodeword]))
+	}
+	return out
+}
+
+// decodeRelaxedLine decodes a 72-byte stored line into 64 data bytes,
+// reporting corrected symbol count. A detected uncorrectable pattern returns
+// ErrUncorrectable together with the raw (untrusted) data symbols.
+func (c *Controller) decodeRelaxedLine(stored []byte) (data []byte, corrected int, err error) {
+	if len(stored) != storedLineBytes {
+		panic(fmt.Sprintf("core: relaxed decode with %d bytes, want %d", len(stored), storedLineBytes))
+	}
+	data = make([]byte, LineBytes)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		res, derr := c.relaxed.Decode(stored[cw*18 : (cw+1)*18])
+		if derr != nil {
+			err = ErrUncorrectable
+			copy(data[cw*dataPerCodeword:], stored[cw*18:cw*18+dataPerCodeword])
+			continue
+		}
+		corrected += len(res.Corrected)
+		copy(data[cw*dataPerCodeword:], res.Data)
+	}
+	return data, corrected, err
+}
+
+// encodeUpgradedPair encodes 128 data bytes (sub-line X ++ sub-line Y) into
+// the two 72-byte stored sub-lines. sparedPos is the codeword position
+// remapped to the spare for sparing pages, or -1.
+func (c *Controller) encodeUpgradedPair(data []byte, sparedPos int) (storedX, storedY []byte) {
+	if len(data) != 2*LineBytes {
+		panic(fmt.Sprintf("core: upgraded encode with %d bytes, want %d", len(data), 2*LineBytes))
+	}
+	storedX = make([]byte, storedLineBytes)
+	storedY = make([]byte, storedLineBytes)
+	payload := make([]byte, 32)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		copy(payload[0:16], data[cw*16:cw*16+16])        // X half
+		copy(payload[16:32], data[64+cw*16:64+cw*16+16]) // Y half
+		var full []byte
+		if c.sparing != nil {
+			full = c.sparing.EncodeSpared(payload, sparedPos)
+		} else {
+			full = c.upgraded.Encode(payload)
+		}
+		// Scatter: X gets symbols 0..15 and 32, 33; Y gets 16..31, 34, 35.
+		copy(storedX[cw*18:], full[0:16])
+		storedX[cw*18+16] = full[32]
+		storedX[cw*18+17] = full[33]
+		copy(storedY[cw*18:], full[16:32])
+		storedY[cw*18+16] = full[34]
+		storedY[cw*18+17] = full[35]
+	}
+	return storedX, storedY
+}
+
+// decodeUpgradedPair decodes the two stored sub-lines into 128 data bytes.
+func (c *Controller) decodeUpgradedPair(storedX, storedY []byte, sparedPos int) (data []byte, corrected []int, err error) {
+	if len(storedX) != storedLineBytes || len(storedY) != storedLineBytes {
+		panic("core: upgraded decode with wrong stored sizes")
+	}
+	data = make([]byte, 2*LineBytes)
+	full := make([]byte, 36)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		copy(full[0:16], storedX[cw*18:cw*18+16])
+		full[32] = storedX[cw*18+16]
+		full[33] = storedX[cw*18+17]
+		copy(full[16:32], storedY[cw*18:cw*18+16])
+		full[34] = storedY[cw*18+16]
+		full[35] = storedY[cw*18+17]
+
+		var res eccResult
+		var derr error
+		if c.sparing != nil {
+			r, e := c.sparing.DecodeSpared(full, sparedPos)
+			res, derr = eccResult{data: r.Data, corrected: r.Corrected}, e
+		} else {
+			r, e := c.upgraded.Decode(full)
+			res, derr = eccResult{data: r.Data, corrected: r.Corrected}, e
+		}
+		if derr != nil {
+			err = ErrUncorrectable
+			copy(data[cw*16:], full[0:16])
+			copy(data[64+cw*16:], full[16:32])
+			continue
+		}
+		corrected = append(corrected, res.corrected...)
+		copy(data[cw*16:], res.data[0:16])
+		copy(data[64+cw*16:], res.data[16:32])
+	}
+	return data, corrected, err
+}
+
+type eccResult struct {
+	data      []byte
+	corrected []int
+}

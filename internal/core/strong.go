@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"arcc/internal/pagetable"
+)
+
+// This file implements the §5.1 second upgrade level: when a codeword in an
+// upgraded page develops a second bad symbol, the page's codewords can be
+// striped across FOUR memory channels, giving each codeword eight check
+// symbols (the EightCheck scheme: 64 data + 8 check symbols, correcting two
+// bad symbols outright).
+//
+// Quad layout: lines 4q..4q+3 of a page share slot q in channels 0..3.
+// Codeword c of the quad (72 symbols) is
+//
+//	[ ch0 data d0[16c..16c+15] | ch1 data | ch2 data | ch3 data | r0..r7 ]
+//
+// with data symbols 16k..16k+15 and check symbols 64+2k, 64+2k+1 stored in
+// channel k — every stored symbol still owns its device, so a whole-device
+// fault costs one symbol per codeword and a whole-channel (lane) fault
+// costs at most 18 positions spread across four codewords' disjoint ranges.
+
+// quadChannels returns the base slot of quad q; channels are always 0..3.
+func (c *Controller) quadSlot(quad int) int {
+	line := 4 * quad
+	_, slot := c.channelOf(line)
+	return slot
+}
+
+// readQuadStored fetches the four stored sub-lines of a quad.
+func (c *Controller) readQuadStored(page, quad int) [4][]byte {
+	c.mustSupportStrong()
+	slot := c.quadSlot(quad)
+	rank, addr := c.addrOf(page, slot)
+	var stored [4][]byte
+	for ch := 0; ch < 4; ch++ {
+		stored[ch] = c.channels[ch][rank].ReadLine(addr)
+	}
+	c.stats.SubLineAccesses += 4
+	return stored
+}
+
+// ReadQuad reads upgraded8 quad q (lines 4q..4q+3), returning the 256 B
+// payload. All four channels are accessed in lockstep.
+func (c *Controller) ReadQuad(page, quad int) ([]byte, error) {
+	if c.table.Mode(page) != pagetable.Upgraded8 {
+		panic(fmt.Sprintf("core: ReadQuad on %v page %d", c.table.Mode(page), page))
+	}
+	stored := c.readQuadStored(page, quad)
+	data, corrected, err := c.decodeQuad(stored)
+	c.noteOutcome(len(corrected), err)
+	return data, err
+}
+
+// WriteQuad writes back a full 256 B upgraded8 quad.
+func (c *Controller) WriteQuad(page, quad int, data []byte) {
+	if len(data) != 4*LineBytes {
+		panic(fmt.Sprintf("core: WriteQuad with %d bytes, want %d", len(data), 4*LineBytes))
+	}
+	if c.table.Mode(page) != pagetable.Upgraded8 {
+		panic(fmt.Sprintf("core: WriteQuad on %v page %d", c.table.Mode(page), page))
+	}
+	c.stats.Writes += 4
+	c.writeQuadStored(page, quad, data)
+}
+
+// writeQuadStored encodes a 256 B quad and stores its four sub-lines.
+func (c *Controller) writeQuadStored(page, quad int, data []byte) {
+	c.mustSupportStrong()
+	if len(data) != 4*LineBytes {
+		panic(fmt.Sprintf("core: quad encode with %d bytes, want %d", len(data), 4*LineBytes))
+	}
+	slot := c.quadSlot(quad)
+	rank, addr := c.addrOf(page, slot)
+	var stored [4][]byte
+	for ch := 0; ch < 4; ch++ {
+		stored[ch] = make([]byte, storedLineBytes)
+	}
+	payload := make([]byte, 64)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		for ch := 0; ch < 4; ch++ {
+			copy(payload[ch*16:(ch+1)*16], data[ch*LineBytes+cw*16:ch*LineBytes+cw*16+16])
+		}
+		full := c.eight.Encode(payload)
+		for ch := 0; ch < 4; ch++ {
+			copy(stored[ch][cw*18:], full[ch*16:(ch+1)*16])
+			stored[ch][cw*18+16] = full[64+2*ch]
+			stored[ch][cw*18+17] = full[64+2*ch+1]
+		}
+	}
+	for ch := 0; ch < 4; ch++ {
+		c.channels[ch][rank].WriteLine(addr, stored[ch])
+	}
+	c.stats.SubLineAccesses += 4
+}
+
+// decodeQuad decodes four stored sub-lines into 256 data bytes.
+func (c *Controller) decodeQuad(stored [4][]byte) (data []byte, corrected []int, err error) {
+	for ch := 0; ch < 4; ch++ {
+		if len(stored[ch]) != storedLineBytes {
+			panic("core: quad decode with wrong stored sizes")
+		}
+	}
+	data = make([]byte, 4*LineBytes)
+	full := make([]byte, 72)
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		for ch := 0; ch < 4; ch++ {
+			copy(full[ch*16:(ch+1)*16], stored[ch][cw*18:cw*18+16])
+			full[64+2*ch] = stored[ch][cw*18+16]
+			full[64+2*ch+1] = stored[ch][cw*18+17]
+		}
+		res, derr := c.eight.Decode(full)
+		if derr != nil {
+			err = ErrUncorrectable
+			for ch := 0; ch < 4; ch++ {
+				copy(data[ch*LineBytes+cw*16:], full[ch*16:(ch+1)*16])
+			}
+			continue
+		}
+		corrected = append(corrected, res.Corrected...)
+		for ch := 0; ch < 4; ch++ {
+			copy(data[ch*LineBytes+cw*16:], res.Data[ch*16:(ch+1)*16])
+		}
+	}
+	return data, corrected, err
+}
+
+// UpgradePageToStrong raises an Upgraded page to Upgraded8 (§5.1): the
+// page's pairs are read out (correcting what the 4-check code still can),
+// re-encoded as four-channel quads with eight check symbols, and written
+// back. Requires a four-channel controller.
+func (c *Controller) UpgradePageToStrong(page int) error {
+	c.mustSupportStrong()
+	if c.table.Mode(page) != pagetable.Upgraded {
+		panic(fmt.Sprintf("core: UpgradePageToStrong on %v page %d", c.table.Mode(page), page))
+	}
+	var readErr error
+	pairs := make([][]byte, LinesPerPage/2)
+	for pair := range pairs {
+		data, err := c.ReadPair(page, pair)
+		if err != nil {
+			readErr = err
+		}
+		pairs[pair] = data
+	}
+	c.table.SetMode(page, pagetable.Upgraded8)
+	delete(c.sparedPos, page)
+	c.stats.StrongUpgrades++
+
+	quadData := make([]byte, 4*LineBytes)
+	for quad := 0; quad < LinesPerPage/4; quad++ {
+		copy(quadData[:2*LineBytes], pairs[2*quad])
+		copy(quadData[2*LineBytes:], pairs[2*quad+1])
+		c.writeQuadStored(page, quad, quadData)
+	}
+	return readErr
+}
+
+func (c *Controller) mustSupportStrong() {
+	if !c.SupportsStrongUpgrade() {
+		panic("core: Upgraded8 mode requires a four-channel configuration (§5.1)")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"arcc/internal/pagetable"
+)
+
+// UpgradePage raises page from relaxed to upgraded mode (§4.2.1): every
+// line of the page is read out (correcting errors on the way), adjacent
+// line pairs are joined into 128 B upgraded lines, and the page is written
+// back in the stronger layout. Only this page is touched.
+//
+// When the upgraded code is double chip sparing and the relaxed reads
+// corrected a consistent symbol position (a dead device), that position is
+// remapped to the spare so a *second* device fault remains correctable.
+//
+// A DUE while reading the relaxed content is propagated; the page is still
+// upgraded (with the raw content), which matches a controller that must not
+// lose the upgrade just because one word was unrecoverable, but the caller
+// is told data was lost.
+func (c *Controller) UpgradePage(page int) error {
+	if c.table.Mode(page) != pagetable.Relaxed {
+		panic(fmt.Sprintf("core: UpgradePage on %v page %d", c.table.Mode(page), page))
+	}
+
+	// Read out all 64 lines in relaxed form, tracking corrected positions.
+	var readErr error
+	positionHits := make(map[int]int)
+	lines := make([][]byte, LinesPerPage)
+	for line := 0; line < LinesPerPage; line++ {
+		ch, slot := c.channelOf(line)
+		rank, addr := c.addrOf(page, slot)
+		c.stats.SubLineAccesses++
+		stored := c.channels[ch][rank].ReadLine(addr)
+		data, corrected, err := c.decodeRelaxedLine(stored)
+		if err != nil {
+			readErr = err
+			c.stats.DUEs++
+		}
+		c.stats.Corrected += int64(corrected)
+		if corrected > 0 {
+			// Identify which codeword positions were repaired so sparing
+			// can remap a consistently-failing device. In the upgraded
+			// codeword, data from an even channel occupies positions
+			// 0..15 and from an odd channel 16..31.
+			for cw := 0; cw < codewordsPerLine; cw++ {
+				res, derr := c.relaxed.Decode(stored[cw*18 : (cw+1)*18])
+				if derr != nil {
+					continue
+				}
+				for _, pos := range res.Corrected {
+					if pos < 16 {
+						if ch%2 == 0 {
+							positionHits[pos]++
+						} else {
+							positionHits[16+pos]++
+						}
+					}
+				}
+			}
+		}
+		lines[line] = data
+	}
+
+	// Choose a spare remap target: the most frequently corrected data
+	// position, if the sparing scheme is in use.
+	spared := -1
+	if c.sparing != nil {
+		best := 0
+		for pos, n := range positionHits {
+			if n > best {
+				best, spared = n, pos
+			}
+		}
+		if spared >= 0 {
+			c.sparedPos[page] = spared
+		}
+	}
+
+	// Flip the mode first so writePairStored encodes in upgraded form.
+	c.table.SetMode(page, pagetable.Upgraded)
+	c.stats.PageUpgrades++
+
+	pairData := make([]byte, 2*LineBytes)
+	for pair := 0; pair < LinesPerPage/2; pair++ {
+		copy(pairData[:LineBytes], lines[2*pair])
+		copy(pairData[LineBytes:], lines[2*pair+1])
+		c.writePairStored(page, pair, pairData)
+	}
+	return readErr
+}
+
+// RelaxPage drops page from upgraded to relaxed mode — the boot-time scrub
+// applies this to every fault-free page. The page content is decoded in
+// upgraded form and re-encoded per-line in relaxed form.
+func (c *Controller) RelaxPage(page int) error {
+	if c.table.Mode(page) != pagetable.Upgraded {
+		panic(fmt.Sprintf("core: RelaxPage on %v page %d", c.table.Mode(page), page))
+	}
+	var readErr error
+	pairs := make([][]byte, LinesPerPage/2)
+	for pair := range pairs {
+		data, err := c.ReadPair(page, pair)
+		if err != nil {
+			readErr = err
+		}
+		pairs[pair] = data
+	}
+	c.table.SetMode(page, pagetable.Relaxed)
+	delete(c.sparedPos, page)
+	for pair, data := range pairs {
+		for half := 0; half < 2; half++ {
+			line := 2*pair + half
+			ch, slot := c.channelOf(line)
+			rank, addr := c.addrOf(page, slot)
+			c.stats.SubLineAccesses++
+			c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data[half*LineBytes:(half+1)*LineBytes]))
+		}
+	}
+	return readErr
+}
+
+// RelaxAll drops every upgraded page to relaxed mode. It is the bulk form
+// of the boot sequence: start upgraded, populate, then relax everything the
+// first scrub finds fault-free. Returns the count of pages relaxed.
+func (c *Controller) RelaxAll() int {
+	n := 0
+	for page := 0; page < c.cfg.Pages; page++ {
+		if c.table.Mode(page) == pagetable.Upgraded {
+			if err := c.RelaxPage(page); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}

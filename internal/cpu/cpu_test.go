@@ -1,0 +1,145 @@
+package cpu
+
+import "testing"
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{WidthIPC: 0, MLP: 4, HitLatency: 10},
+		{WidthIPC: 2, MLP: 0, HitLatency: 10},
+		{WidthIPC: 2, MLP: 4, HitLatency: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestComputeOnlyIPCApproachesPeak(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		c.AdvanceCompute(100)
+	}
+	if ipc := c.IPC(); ipc < 1.9 || ipc > 2.0 {
+		t.Fatalf("compute-only IPC = %v, want ~2 (peak width)", ipc)
+	}
+}
+
+func TestHitsSlowButDoNotStall(t *testing.T) {
+	withHits := New(DefaultConfig())
+	without := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		withHits.AdvanceCompute(50)
+		withHits.NoteHit()
+		without.AdvanceCompute(50)
+	}
+	if withHits.IPC() >= without.IPC() {
+		t.Fatal("hit latency should cost some IPC")
+	}
+	if withHits.IPC() < without.IPC()/2 {
+		t.Fatal("hits cost too much; they are not misses")
+	}
+}
+
+func TestMLPOverlapsMisses(t *testing.T) {
+	// Same miss latency; a core with MLP=4 must finish much faster than a
+	// blocking core (MLP=1) on a back-to-back miss stream.
+	run := func(mlp int) int64 {
+		cfg := DefaultConfig()
+		cfg.MLP = mlp
+		c := New(cfg)
+		const lat = 300
+		for i := 0; i < 1000; i++ {
+			c.AdvanceCompute(10)
+			c.IssueMiss(func(now int64) int64 { return now + lat })
+		}
+		c.Drain()
+		return c.Now()
+	}
+	blocking, overlapped := run(1), run(4)
+	speedup := float64(blocking) / float64(overlapped)
+	if speedup < 2.5 {
+		t.Fatalf("MLP=4 speedup over blocking = %.2fx, want > 2.5x", speedup)
+	}
+}
+
+func TestWindowFullStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MLP = 2
+	c := New(cfg)
+	issue := func(now int64) int64 { return now + 1000 }
+	c.IssueMiss(issue)
+	c.IssueMiss(issue)
+	if c.OutstandingMisses() != 2 {
+		t.Fatalf("outstanding = %d, want 2", c.OutstandingMisses())
+	}
+	before := c.Now()
+	c.IssueMiss(issue) // must stall until the first completes
+	if c.Now() < before+900 {
+		t.Fatalf("third miss did not stall the full window: time went %d -> %d", before, c.Now())
+	}
+}
+
+func TestRetireFreesWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MLP = 2
+	c := New(cfg)
+	c.IssueMiss(func(now int64) int64 { return now + 100 })
+	c.AdvanceCompute(1000) // plenty of time for the miss to retire
+	if c.OutstandingMisses() != 0 {
+		t.Fatalf("outstanding = %d after retirement window", c.OutstandingMisses())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	c := New(DefaultConfig())
+	c.IssueMiss(func(now int64) int64 { return now + 500 })
+	c.Drain()
+	if c.OutstandingMisses() != 0 {
+		t.Fatal("Drain left misses outstanding")
+	}
+	if c.Now() < 500 {
+		t.Fatalf("Drain did not advance time to completion: %d", c.Now())
+	}
+}
+
+func TestCompletionBeforeNowClamped(t *testing.T) {
+	c := New(DefaultConfig())
+	c.AdvanceCompute(10000)
+	c.IssueMiss(func(now int64) int64 { return 1 }) // stale completion
+	c.Drain()
+	if c.Now() < 5000 {
+		t.Fatal("time went backwards")
+	}
+}
+
+func TestNegativeGapPanics(t *testing.T) {
+	c := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.AdvanceCompute(-1)
+}
+
+func TestMemoryLatencySensitivity(t *testing.T) {
+	// Doubling miss latency must cost IPC on a miss-heavy stream.
+	run := func(lat int64) float64 {
+		c := New(DefaultConfig())
+		for i := 0; i < 2000; i++ {
+			c.AdvanceCompute(20)
+			c.IssueMiss(func(now int64) int64 { return now + lat })
+		}
+		c.Drain()
+		return c.IPC()
+	}
+	fast, slow := run(150), run(300)
+	if slow >= fast {
+		t.Fatalf("IPC not sensitive to memory latency: %v vs %v", fast, slow)
+	}
+}

@@ -1,0 +1,122 @@
+// Package dram models the DRAM storage substrate: channels of ranks of
+// devices with bank/row/column geometry, a sparse backing store, and
+// device-level fault overlays that corrupt reads the way real device
+// failures do (stuck-at bits, dead devices, faulty row/column decoders).
+//
+// The model stores whole memory *lines*: each line is BeatsPerLine symbols
+// wide per device, so a rank of D devices serves lines of D*BeatsPerLine
+// bytes. Chipkill codes stripe each codeword across the devices — symbol i
+// of beat b lives in device i — so a whole-device fault corrupts exactly one
+// symbol per codeword. Timing and power live in packages memctrl and power;
+// this package is purely functional storage plus corruption.
+package dram
+
+import "fmt"
+
+// Geometry describes one rank's organisation. The ARCC evaluation uses
+// 18-device x8 ranks (relaxed channel) and 36-device x4 lockstep ranks
+// (baseline), both with 8 banks per device (DDR2 512 Mb devices).
+type Geometry struct {
+	DevicesPerRank int // symbols per beat
+	BanksPerDevice int
+	RowsPerBank    int
+	ColsPerRow     int // line-sized columns per row
+	BeatsPerLine   int // symbols each device contributes to one line
+}
+
+// LineBytes returns the total bytes (data + check) of one stored line.
+func (g Geometry) LineBytes() int { return g.DevicesPerRank * g.BeatsPerLine }
+
+// Addr locates one line within a rank.
+type Addr struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+func (g Geometry) validate(a Addr) {
+	if a.Bank < 0 || a.Bank >= g.BanksPerDevice ||
+		a.Row < 0 || a.Row >= g.RowsPerBank ||
+		a.Col < 0 || a.Col >= g.ColsPerRow {
+		panic(fmt.Sprintf("dram: address %+v outside geometry %+v", a, g))
+	}
+}
+
+func (g Geometry) flat(a Addr) uint64 {
+	return (uint64(a.Bank)*uint64(g.RowsPerBank)+uint64(a.Row))*uint64(g.ColsPerRow) + uint64(a.Col)
+}
+
+// Rank is a group of devices accessed together. The backing store is sparse:
+// unwritten lines read as zero (a freshly-initialised, scrubbed memory).
+type Rank struct {
+	geom   Geometry
+	store  map[uint64][]byte
+	faults []Fault
+}
+
+// NewRank constructs an empty rank.
+func NewRank(g Geometry) *Rank {
+	if g.DevicesPerRank <= 0 || g.BanksPerDevice <= 0 || g.RowsPerBank <= 0 ||
+		g.ColsPerRow <= 0 || g.BeatsPerLine <= 0 {
+		panic(fmt.Sprintf("dram: invalid geometry %+v", g))
+	}
+	return &Rank{geom: g, store: make(map[uint64][]byte)}
+}
+
+// Geometry returns the rank's geometry.
+func (r *Rank) Geometry() Geometry { return r.geom }
+
+// WriteLine stores a line. The data length must equal Geometry().LineBytes().
+// Writes are recorded faithfully; corruption happens on read, which is how
+// stuck-at faults hide until the cell is read back.
+func (r *Rank) WriteLine(a Addr, data []byte) {
+	r.geom.validate(a)
+	if len(data) != r.geom.LineBytes() {
+		panic(fmt.Sprintf("dram: WriteLine with %d bytes, want %d", len(data), r.geom.LineBytes()))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r.store[r.geom.flat(a)] = buf
+}
+
+// ReadLine fetches a line with all applicable fault corruption applied.
+// Symbol s of beat b sits at offset b*DevicesPerRank + s and comes from
+// device s.
+func (r *Rank) ReadLine(a Addr) []byte {
+	r.geom.validate(a)
+	out := make([]byte, r.geom.LineBytes())
+	if stored, ok := r.store[r.geom.flat(a)]; ok {
+		copy(out, stored)
+	}
+	for i := range r.faults {
+		r.faults[i].corrupt(r, a, out)
+	}
+	return out
+}
+
+// ReadLineRaw fetches the stored line without fault corruption. Tests and
+// golden-path checks use it; the memory system never does.
+func (r *Rank) ReadLineRaw(a Addr) []byte {
+	r.geom.validate(a)
+	out := make([]byte, r.geom.LineBytes())
+	if stored, ok := r.store[r.geom.flat(a)]; ok {
+		copy(out, stored)
+	}
+	return out
+}
+
+// InjectFault adds a fault overlay to the rank. Faults accumulate; each read
+// applies all overlays in injection order.
+func (r *Rank) InjectFault(f Fault) {
+	f.validate(r.geom)
+	r.faults = append(r.faults, f)
+}
+
+// ClearFaults removes all fault overlays (a repaired/replaced DIMM).
+func (r *Rank) ClearFaults() { r.faults = nil }
+
+// Faults returns the injected fault overlays.
+func (r *Rank) Faults() []Fault { return r.faults }
+
+// LinesStored reports how many distinct lines have been written (test aid).
+func (r *Rank) LinesStored() int { return len(r.store) }

@@ -1,0 +1,164 @@
+package dram
+
+import "fmt"
+
+// Scope identifies the device-internal circuitry a fault takes out,
+// following the taxonomy of the Sridharan & Liberty field study the paper
+// draws its rates from.
+type Scope int
+
+const (
+	// ScopeBit: one cell (one bit of one symbol at one address).
+	ScopeBit Scope = iota
+	// ScopeWord: one line's worth of symbols from this device.
+	ScopeWord
+	// ScopeColumn: one column across all rows of one bank.
+	ScopeColumn
+	// ScopeRow: one row of one bank.
+	ScopeRow
+	// ScopeBank: one whole bank of the device.
+	ScopeBank
+	// ScopeDevice: the whole device.
+	ScopeDevice
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case ScopeBit:
+		return "bit"
+	case ScopeWord:
+		return "word"
+	case ScopeColumn:
+		return "column"
+	case ScopeRow:
+		return "row"
+	case ScopeBank:
+		return "bank"
+	case ScopeDevice:
+		return "device"
+	}
+	return fmt.Sprintf("Scope(%d)", int(s))
+}
+
+// Mode is the way a faulty region corrupts read data.
+type Mode int
+
+const (
+	// StuckAt0 forces affected bits to zero.
+	StuckAt0 Mode = iota
+	// StuckAt1 forces affected bits to one.
+	StuckAt1
+	// WrongData models address-decoder faults: reads return data from the
+	// wrong internal location. The paper calls these out as the faults that
+	// defeat checksum-only detection (Ch. 2, LOT-ECC discussion). Modeled
+	// as a deterministic per-address scramble so repeated reads agree.
+	WrongData
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case WrongData:
+		return "wrong-data"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Fault is one device-level fault overlay.
+type Fault struct {
+	Device int // device index within the rank
+	Scope  Scope
+	Mode   Mode
+	// Coordinates of the faulty circuitry; fields beyond the scope are
+	// ignored (e.g. a ScopeDevice fault ignores Bank/Row/Col/Bit).
+	Bank, Row, Col int
+	Bit            int // bit index within the symbol, for ScopeBit
+}
+
+func (f Fault) validate(g Geometry) {
+	if f.Device < 0 || f.Device >= g.DevicesPerRank {
+		panic(fmt.Sprintf("dram: fault device %d outside rank of %d", f.Device, g.DevicesPerRank))
+	}
+	needBank := f.Scope != ScopeDevice
+	if needBank && (f.Bank < 0 || f.Bank >= g.BanksPerDevice) {
+		panic(fmt.Sprintf("dram: fault bank %d outside geometry", f.Bank))
+	}
+	switch f.Scope {
+	case ScopeRow, ScopeWord, ScopeBit:
+		if f.Row < 0 || f.Row >= g.RowsPerBank {
+			panic(fmt.Sprintf("dram: fault row %d outside geometry", f.Row))
+		}
+	}
+	switch f.Scope {
+	case ScopeColumn, ScopeWord, ScopeBit:
+		if f.Col < 0 || f.Col >= g.ColsPerRow {
+			panic(fmt.Sprintf("dram: fault col %d outside geometry", f.Col))
+		}
+	}
+	if f.Scope == ScopeBit && (f.Bit < 0 || f.Bit >= 8) {
+		panic(fmt.Sprintf("dram: fault bit %d outside symbol", f.Bit))
+	}
+}
+
+// covers reports whether the fault affects address a.
+func (f Fault) covers(a Addr) bool {
+	switch f.Scope {
+	case ScopeDevice:
+		return true
+	case ScopeBank:
+		return a.Bank == f.Bank
+	case ScopeRow:
+		return a.Bank == f.Bank && a.Row == f.Row
+	case ScopeColumn:
+		return a.Bank == f.Bank && a.Col == f.Col
+	case ScopeWord, ScopeBit:
+		return a.Bank == f.Bank && a.Row == f.Row && a.Col == f.Col
+	}
+	return false
+}
+
+// corrupt applies the fault to line, which is laid out beat-major with
+// DevicesPerRank symbols per beat.
+func (f Fault) corrupt(r *Rank, a Addr, line []byte) {
+	if !f.covers(a) {
+		return
+	}
+	g := r.geom
+	for beat := 0; beat < g.BeatsPerLine; beat++ {
+		idx := beat*g.DevicesPerRank + f.Device
+		switch f.Mode {
+		case StuckAt0:
+			if f.Scope == ScopeBit {
+				line[idx] &^= 1 << f.Bit
+			} else {
+				line[idx] = 0x00
+			}
+		case StuckAt1:
+			if f.Scope == ScopeBit {
+				line[idx] |= 1 << f.Bit
+			} else {
+				line[idx] = 0xFF
+			}
+		case WrongData:
+			// Deterministic scramble of (address, beat, device): the same
+			// read always returns the same wrong value, like a decoder
+			// that consistently selects the wrong row.
+			line[idx] = scramble(g.flat(a), beat, f.Device)
+		}
+	}
+}
+
+// scramble is a small deterministic mixing function (xorshift-style) used by
+// WrongData faults.
+func scramble(addr uint64, beat, device int) byte {
+	x := addr*0x9E3779B97F4A7C15 + uint64(beat)*0xBF58476D1CE4E5B9 + uint64(device)*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	return byte(x)
+}

@@ -1,0 +1,122 @@
+// Package ecc implements the chipkill-correct ECC schemes that ARCC builds
+// on and compares against.
+//
+// Each scheme protects one codeword whose symbols map one-to-one onto DRAM
+// devices in a rank (package dram owns that mapping). The schemes are:
+//
+//   - Relaxed: 2 check symbols per codeword (the weak, low-power mode ARCC
+//     uses for fault-free pages): corrects one bad symbol, guarantees
+//     detection of one bad symbol only.
+//   - SCCDCD: commercial single chipkill correct double chipkill detect,
+//     4 check symbols: corrects one bad symbol, guarantees detection of two.
+//   - DoubleChipSparing: 3 check symbols + 1 spare symbol; corrects a second
+//     bad symbol provided the first was detected (and remapped to the spare)
+//     beforehand.
+//   - EightCheck: the §5.1 extension with 8 check symbols across four
+//     channels, enabling a second upgrade level.
+//
+// All schemes use 8-bit symbols so that one symbol per beat comes from each
+// x8 device (or two beats of an x4 device), matching Table 7.1.
+package ecc
+
+import (
+	"errors"
+
+	"arcc/internal/rs"
+)
+
+// ErrDetected reports an error pattern that the scheme detected but could
+// not correct — a DUE (detectable uncorrectable error) in memory terms.
+var ErrDetected = errors.New("ecc: detected uncorrectable error")
+
+// Result is the outcome of decoding one codeword.
+type Result struct {
+	// Data holds the recovered data symbols (length DataSymbols).
+	Data []byte
+	// Corrected lists codeword symbol positions that were repaired.
+	Corrected []int
+}
+
+// Scheme is one chipkill-correct code configuration. Implementations are
+// stateless and safe for concurrent use; sparing state is carried explicitly
+// by the caller (see DoubleChipSparing).
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// DataSymbols is the number of data symbols per codeword (K).
+	DataSymbols() int
+	// TotalSymbols is the codeword length in symbols (N); it equals the
+	// number of devices the codeword is striped across.
+	TotalSymbols() int
+	// CheckSymbols is N - K.
+	CheckSymbols() int
+	// GuaranteedDetect is the number of bad symbols whose detection the
+	// scheme guarantees (the paper's reliability discussion, Ch. 2 & 6).
+	GuaranteedDetect() int
+	// Encode produces an N-symbol codeword from K data symbols.
+	Encode(data []byte) []byte
+	// Decode recovers the data from a possibly corrupted codeword. It
+	// returns ErrDetected for detected-uncorrectable patterns. Error
+	// patterns beyond GuaranteedDetect bad symbols may silently corrupt
+	// data (SDC) — quantifying that risk is the job of package reliability.
+	Decode(cw []byte) (Result, error)
+}
+
+// rsScheme is the shared shape of the RS-backed schemes.
+type rsScheme struct {
+	name     string
+	code     *rs.Code
+	maxFix   int // correction bound (policy, not raw code capability)
+	detectGt int // guaranteed detect count
+}
+
+func (s *rsScheme) Name() string          { return s.name }
+func (s *rsScheme) DataSymbols() int      { return s.code.K() }
+func (s *rsScheme) TotalSymbols() int     { return s.code.N() }
+func (s *rsScheme) CheckSymbols() int     { return s.code.CheckSymbols() }
+func (s *rsScheme) GuaranteedDetect() int { return s.detectGt }
+
+func (s *rsScheme) Encode(data []byte) []byte { return s.code.Encode(data) }
+
+func (s *rsScheme) Decode(cw []byte) (Result, error) {
+	res, err := s.code.DecodeBounded(cw, s.maxFix)
+	if err != nil {
+		return Result{}, ErrDetected
+	}
+	return Result{Data: res.Corrected[:s.code.K()], Corrected: res.ErrorPositions}, nil
+}
+
+// NewRelaxed returns the relaxed-mode code: 16 data + 2 check symbols,
+// single symbol correct / single symbol detect. An 18-device rank serves one
+// symbol per device.
+func NewRelaxed() Scheme {
+	return &rsScheme{name: "relaxed-scc", code: rs.New(18, 16), maxFix: 1, detectGt: 1}
+}
+
+// NewSCCDCD returns the commercial chipkill-correct code of Fig. 2.1:
+// 32 data + 4 check symbols, decoded with a single-error bound so that the
+// remaining redundancy guarantees detection of a second bad symbol. This
+// mirrors the "somewhat inefficient encoding" the paper attributes to
+// commercial SCCDCD: all four check symbols are spent on single correct +
+// double detect.
+func NewSCCDCD() Scheme {
+	return &rsScheme{name: "sccdcd", code: rs.New(36, 32), maxFix: 1, detectGt: 2}
+}
+
+// NewEightCheck returns the §5.1 second-level upgrade code: 64 data + 8
+// check symbols striped across four channels, decoded at a two-error bound
+// (remaining redundancy still guarantees detection of four bad symbols in
+// principle; we claim the conservative 4).
+func NewEightCheck() Scheme {
+	return &rsScheme{name: "eight-check", code: rs.New(72, 64), maxFix: 2, detectGt: 4}
+}
+
+// StorageOverhead returns the scheme's redundant-storage fraction:
+// (total - data) / data symbols. The paper's central storage claim is that
+// ARCC's mode changes never move this number: relaxed (2/16), upgraded
+// SCCDCD (4/32), double chip sparing (4/32 counting the spare), and the
+// §5.1 eight-check mode (8/64) all cost exactly 12.5%, the same as
+// SECDED DIMMs.
+func StorageOverhead(s Scheme) float64 {
+	return float64(s.TotalSymbols()-s.DataSymbols()) / float64(s.DataSymbols())
+}

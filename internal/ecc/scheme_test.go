@@ -1,0 +1,254 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func allSchemes() []Scheme {
+	return []Scheme{NewRelaxed(), NewSCCDCD(), NewEightCheck(), NewDoubleChipSparing()}
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestSchemeGeometry(t *testing.T) {
+	cases := []struct {
+		s                  Scheme
+		data, total, check int
+		detect             int
+	}{
+		{NewRelaxed(), 16, 18, 2, 1},
+		{NewSCCDCD(), 32, 36, 4, 2},
+		{NewEightCheck(), 64, 72, 8, 4},
+		{NewDoubleChipSparing(), 32, 36, 3, 2},
+	}
+	for _, c := range cases {
+		if c.s.DataSymbols() != c.data || c.s.TotalSymbols() != c.total ||
+			c.s.CheckSymbols() != c.check || c.s.GuaranteedDetect() != c.detect {
+			t.Errorf("%s: geometry = (%d,%d,%d,detect %d), want (%d,%d,%d,detect %d)",
+				c.s.Name(), c.s.DataSymbols(), c.s.TotalSymbols(), c.s.CheckSymbols(), c.s.GuaranteedDetect(),
+				c.data, c.total, c.check, c.detect)
+		}
+	}
+}
+
+func TestSchemeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range allSchemes() {
+		for trial := 0; trial < 50; trial++ {
+			data := randBytes(r, s.DataSymbols())
+			cw := s.Encode(data)
+			if len(cw) != s.TotalSymbols() {
+				t.Fatalf("%s: codeword length %d, want %d", s.Name(), len(cw), s.TotalSymbols())
+			}
+			res, err := s.Decode(cw)
+			if err != nil {
+				t.Fatalf("%s: clean decode failed: %v", s.Name(), err)
+			}
+			if !bytes.Equal(res.Data, data) {
+				t.Fatalf("%s: clean round trip corrupted data", s.Name())
+			}
+		}
+	}
+}
+
+func TestSchemeCorrectsSingleBadSymbol(t *testing.T) {
+	// Every scheme must survive a whole-device (single-symbol) failure at
+	// any position: that is the definition of chipkill correct.
+	r := rand.New(rand.NewSource(2))
+	for _, s := range allSchemes() {
+		data := randBytes(r, s.DataSymbols())
+		cw := s.Encode(data)
+		for pos := 0; pos < s.TotalSymbols(); pos++ {
+			bad := make([]byte, len(cw))
+			copy(bad, cw)
+			bad[pos] ^= byte(1 + r.Intn(255))
+			res, err := s.Decode(bad)
+			if err != nil {
+				t.Fatalf("%s: single bad symbol at %d not corrected: %v", s.Name(), pos, err)
+			}
+			if !bytes.Equal(res.Data, data) {
+				t.Fatalf("%s: wrong correction at position %d", s.Name(), pos)
+			}
+			if len(res.Corrected) != 1 || res.Corrected[0] != pos {
+				t.Fatalf("%s: corrected positions %v, want [%d]", s.Name(), res.Corrected, pos)
+			}
+		}
+	}
+}
+
+func TestSCCDCDDetectsDoubleBadSymbol(t *testing.T) {
+	// The commercial guarantee: two bad symbols are always detected.
+	s := NewSCCDCD()
+	r := rand.New(rand.NewSource(3))
+	data := randBytes(r, s.DataSymbols())
+	cw := s.Encode(data)
+	for trial := 0; trial < 1000; trial++ {
+		bad := make([]byte, len(cw))
+		copy(bad, cw)
+		perm := r.Perm(s.TotalSymbols())[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := s.Decode(bad); err != ErrDetected {
+			t.Fatalf("trial %d: double bad symbol not detected (err=%v)", trial, err)
+		}
+	}
+}
+
+func TestDoubleChipSparingDetectsDoubleBadSymbol(t *testing.T) {
+	s := NewDoubleChipSparing()
+	r := rand.New(rand.NewSource(4))
+	data := randBytes(r, 32)
+	cw := s.Encode(data)
+	for trial := 0; trial < 1000; trial++ {
+		bad := make([]byte, len(cw))
+		copy(bad, cw)
+		perm := r.Perm(36)[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := s.Decode(bad); err != ErrDetected {
+			t.Fatalf("trial %d: simultaneous double bad symbol not detected (err=%v)", trial, err)
+		}
+	}
+}
+
+func TestDoubleChipSparingCorrectsSecondFaultAfterSparing(t *testing.T) {
+	// The headline capability: once the first bad device is spared, a
+	// second whole-device fault is still correctable.
+	s := NewDoubleChipSparing()
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		data := randBytes(r, 32)
+		firstBad := r.Intn(32)
+		cw := s.EncodeSpared(data, firstBad)
+
+		// The dead device now returns garbage AND a second device fails.
+		bad := make([]byte, len(cw))
+		copy(bad, cw)
+		bad[firstBad] = byte(r.Intn(256)) // garbage from the dead device
+		secondBad := r.Intn(36)
+		for secondBad == firstBad {
+			secondBad = r.Intn(36)
+		}
+		bad[secondBad] ^= byte(1 + r.Intn(255))
+
+		res, err := s.DecodeSpared(bad, firstBad)
+		if err != nil {
+			t.Fatalf("trial %d: second fault after sparing not corrected: %v", trial, err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("trial %d: wrong data after spared decode", trial)
+		}
+	}
+}
+
+func TestDoubleChipSparingSparedRoundTripClean(t *testing.T) {
+	s := NewDoubleChipSparing()
+	r := rand.New(rand.NewSource(6))
+	for pos := 0; pos < 32; pos++ {
+		data := randBytes(r, 32)
+		cw := s.EncodeSpared(data, pos)
+		res, err := s.DecodeSpared(cw, pos)
+		if err != nil {
+			t.Fatalf("spared pos %d: %v", pos, err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("spared pos %d: data mismatch", pos)
+		}
+	}
+}
+
+func TestDoubleChipSparingEncodeSparedNegativeIsPlain(t *testing.T) {
+	s := NewDoubleChipSparing()
+	data := randBytes(rand.New(rand.NewSource(7)), 32)
+	if !bytes.Equal(s.EncodeSpared(data, -1), s.Encode(data)) {
+		t.Fatal("EncodeSpared(-1) differs from Encode")
+	}
+}
+
+func TestDoubleChipSparingPanics(t *testing.T) {
+	s := NewDoubleChipSparing()
+	for name, f := range map[string]func(){
+		"encode wrong len":   func() { s.Encode(make([]byte, 16)) },
+		"spare non-data pos": func() { s.EncodeSpared(make([]byte, 32), 33) },
+		"decode wrong len":   func() { s.Decode(make([]byte, 18)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRelaxedDetectsSingleAlwaysButNotAlwaysDouble(t *testing.T) {
+	// Relaxed mode guarantees only single-symbol detection. Doubles must
+	// never come back as the original data, but may miscorrect — the SDC
+	// exposure that motivates upgrading faulty pages.
+	s := NewRelaxed()
+	r := rand.New(rand.NewSource(8))
+	data := randBytes(r, 16)
+	cw := s.Encode(data)
+	var miscorrect int
+	for trial := 0; trial < 500; trial++ {
+		bad := make([]byte, len(cw))
+		copy(bad, cw)
+		perm := r.Perm(18)[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		res, err := s.Decode(bad)
+		if err == nil {
+			if bytes.Equal(res.Data, data) {
+				t.Fatalf("trial %d: double error decoded to original data", trial)
+			}
+			miscorrect++
+		}
+	}
+	if miscorrect == 0 {
+		t.Fatal("relaxed mode never miscorrected a double error in 500 trials; SDC window should exist")
+	}
+}
+
+func TestEightCheckCorrectsDoubleBadSymbol(t *testing.T) {
+	s := NewEightCheck()
+	r := rand.New(rand.NewSource(9))
+	data := randBytes(r, 64)
+	cw := s.Encode(data)
+	for trial := 0; trial < 200; trial++ {
+		bad := make([]byte, len(cw))
+		copy(bad, cw)
+		perm := r.Perm(72)[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		res, err := s.Decode(bad)
+		if err != nil {
+			t.Fatalf("trial %d: double error not corrected by 8-check code: %v", trial, err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("trial %d: wrong correction", trial)
+		}
+	}
+}
+
+func TestStorageOverheadInvariant(t *testing.T) {
+	// The paper's storage argument: every ARCC mode costs exactly the
+	// commercial 12.5% overhead — upgrades trade power for reliability,
+	// never for capacity.
+	for _, s := range allSchemes() {
+		if got := StorageOverhead(s); got != 0.125 {
+			t.Errorf("%s: storage overhead %v, want 0.125", s.Name(), got)
+		}
+	}
+}

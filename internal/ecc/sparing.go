@@ -1,0 +1,113 @@
+package ecc
+
+import (
+	"fmt"
+
+	"arcc/internal/rs"
+)
+
+// DoubleChipSparing models the second commercial chipkill solution of Ch. 2:
+// a 36-symbol codeword with 32 data symbols, 3 check symbols, and 1 spare
+// symbol. The efficient 3-check encoding provides single symbol correct +
+// double symbol detect; when a bad symbol is detected its device position is
+// remapped to the spare, after which a *second* bad symbol can still be
+// corrected — as long as it appears after the first was detected.
+//
+// Sparing state (which position has been remapped) belongs to the rank, not
+// the code, so it is passed explicitly to DecodeSpared. The plain Decode
+// method decodes with no position spared.
+type DoubleChipSparing struct {
+	code *rs.Code // (36, 33): 33 payload symbols (32 data + spare slot), 3 check
+}
+
+// NewDoubleChipSparing constructs the scheme.
+func NewDoubleChipSparing() *DoubleChipSparing {
+	// Layout: positions 0..31 data, position 32 spare, positions 33..35 the
+	// three check symbols. The spare participates in the code as a payload
+	// symbol so its contents are protected once it is put to use.
+	return &DoubleChipSparing{code: rs.New(36, 33)}
+}
+
+// Name implements Scheme.
+func (s *DoubleChipSparing) Name() string { return "double-chip-sparing" }
+
+// DataSymbols implements Scheme: 32 true data symbols per codeword.
+func (s *DoubleChipSparing) DataSymbols() int { return 32 }
+
+// TotalSymbols implements Scheme.
+func (s *DoubleChipSparing) TotalSymbols() int { return 36 }
+
+// CheckSymbols implements Scheme: three true check symbols (the fourth
+// redundant device holds the spare).
+func (s *DoubleChipSparing) CheckSymbols() int { return 3 }
+
+// GuaranteedDetect implements Scheme.
+func (s *DoubleChipSparing) GuaranteedDetect() int { return 2 }
+
+// SparePosition is the codeword position of the spare symbol.
+const SparePosition = 32
+
+// Encode implements Scheme. The spare symbol is initialised to zero.
+func (s *DoubleChipSparing) Encode(data []byte) []byte {
+	if len(data) != 32 {
+		panic(fmt.Sprintf("ecc: sparing Encode with %d symbols, want 32", len(data)))
+	}
+	payload := make([]byte, 33)
+	copy(payload, data)
+	return s.code.Encode(payload)
+}
+
+// EncodeSpared encodes data for a codeword whose sparedPos has been remapped:
+// the symbol that would live at sparedPos is stored in the spare position
+// instead, and the dead position carries zero.
+func (s *DoubleChipSparing) EncodeSpared(data []byte, sparedPos int) []byte {
+	if sparedPos < 0 {
+		return s.Encode(data)
+	}
+	if len(data) != 32 {
+		panic(fmt.Sprintf("ecc: sparing Encode with %d symbols, want 32", len(data)))
+	}
+	if sparedPos >= 32 {
+		panic(fmt.Sprintf("ecc: cannot spare non-data position %d", sparedPos))
+	}
+	payload := make([]byte, 33)
+	copy(payload, data)
+	payload[SparePosition] = data[sparedPos]
+	payload[sparedPos] = 0
+	return s.code.Encode(payload)
+}
+
+// Decode implements Scheme, decoding with no spared position.
+func (s *DoubleChipSparing) Decode(cw []byte) (Result, error) {
+	return s.DecodeSpared(cw, -1)
+}
+
+// DecodeSpared decodes a codeword in which sparedPos (-1 for none) has been
+// remapped to the spare. The dead position is treated as an erasure, which
+// leaves enough redundancy to correct one additional unknown bad symbol —
+// the "second chipkill" the scheme is named for.
+func (s *DoubleChipSparing) DecodeSpared(cw []byte, sparedPos int) (Result, error) {
+	if len(cw) != 36 {
+		panic(fmt.Sprintf("ecc: sparing Decode with %d symbols, want 36", len(cw)))
+	}
+	var res rs.Result
+	var err error
+	if sparedPos < 0 {
+		res, err = s.code.DecodeBounded(cw, 1)
+	} else {
+		// One erasure (the dead device) + up to one unknown error uses
+		// exactly the three check symbols: 2*1 + 1 = 3.
+		res, err = s.code.DecodeErrorsErasures(cw, []int{sparedPos}, 1)
+	}
+	if err != nil {
+		return Result{}, ErrDetected
+	}
+	data := make([]byte, 32)
+	copy(data, res.Corrected[:32])
+	if sparedPos >= 0 {
+		data[sparedPos] = res.Corrected[SparePosition]
+	}
+	return Result{Data: data, Corrected: res.ErrorPositions}, nil
+}
+
+var _ Scheme = (*DoubleChipSparing)(nil)

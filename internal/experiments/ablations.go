@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"io"
+
+	"arcc/internal/cache"
+	"arcc/internal/core"
+	"arcc/internal/dram"
+	"arcc/internal/memctrl"
+	"arcc/internal/scrub"
+	"arcc/internal/sim"
+	"arcc/internal/workload"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: each isolates
+// one design decision of the paper and quantifies what it buys.
+
+// ScrubAblationRow reports fault-detection coverage of the two scrubbing
+// algorithms for one fault situation.
+type ScrubAblationRow struct {
+	Scenario     string
+	FourStep     bool // fault found by the 4-step scrubber
+	Conventional bool // fault found by the conventional scrubber
+}
+
+// AblationScrub compares the 4-step and conventional scrubbers' detection
+// coverage across fault situations, including the hidden stuck-at case that
+// motivates the §4.2.2 hardening. Results are functional (real codewords).
+func AblationScrub() []ScrubAblationRow {
+	type scenario struct {
+		name    string
+		fault   dram.Fault
+		content byte // fill pattern stored before the fault appears
+	}
+	scenarios := []scenario{
+		{"stuck-at-1 device, zero-filled data", dram.Fault{Device: 3, Scope: dram.ScopeDevice, Mode: dram.StuckAt1}, 0x00},
+		{"stuck-at-0 device, zero-filled data (hidden)", dram.Fault{Device: 3, Scope: dram.ScopeDevice, Mode: dram.StuckAt0}, 0x00},
+		{"stuck-at-1 device, one-filled data (hidden)", dram.Fault{Device: 3, Scope: dram.ScopeDevice, Mode: dram.StuckAt1}, 0xFF},
+		{"wrong-data (decoder) fault", dram.Fault{Device: 3, Scope: dram.ScopeRow, Mode: dram.WrongData, Bank: 0, Row: 0}, 0x5A},
+		{"stuck-at-0 bank, mixed data", dram.Fault{Device: 3, Scope: dram.ScopeBank, Mode: dram.StuckAt0, Bank: 0}, 0x5A},
+	}
+	var rows []ScrubAblationRow
+	for _, sc := range scenarios {
+		row := ScrubAblationRow{Scenario: sc.name}
+		for _, algo := range []scrub.Algorithm{scrub.FourStep, scrub.Conventional} {
+			mem := core.New(core.Config{Pages: 4, RanksPerChannel: 1, BanksPerDevice: 2, RowsPerBank: 1})
+			mem.RelaxAll()
+			line := make([]byte, core.LineBytes)
+			for i := range line {
+				line[i] = sc.content
+			}
+			for page := 0; page < mem.Pages(); page++ {
+				for l := 0; l < core.LinesPerPage; l++ {
+					if err := mem.WriteLine(page, l, line); err != nil {
+						panic(err)
+					}
+				}
+			}
+			mem.InjectFault(0, 0, sc.fault)
+			s := scrub.New(mem, algo)
+			found := len(s.FullScrub()) > 0
+			if algo == scrub.FourStep {
+				row.FourStep = found
+			} else {
+				row.Conventional = found
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FprintAblationScrub renders the scrubber coverage comparison.
+func FprintAblationScrub(w io.Writer) {
+	fprintf(w, "Ablation: scrubber fault-detection coverage (4-step vs conventional, §4.2.2)\n")
+	fprintf(w, "%-48s %-9s %-12s\n", "Scenario", "4-step", "conventional")
+	for _, r := range AblationScrub() {
+		fprintf(w, "%-48s %-9v %-12v\n", r.Scenario, r.FourStep, r.Conventional)
+	}
+}
+
+// PolicyAblationResult compares LLC replacement policies for upgraded pairs
+// under heavy upgrade pressure.
+type PolicyAblationResult struct {
+	Mixes []string
+	// IPCRatio[p][m] is policy p's IPC relative to SharedRecency for mix m,
+	// with every page upgraded (lane-fault pressure).
+	Policies []string
+	IPCRatio [][]float64
+}
+
+// AblationLLCPolicy quantifies the §4.2.3 design choice: shared-recency
+// paired replacement versus independent LRU, measured through the full
+// simulator with all pages upgraded.
+func AblationLLCPolicy(o Options) PolicyAblationResult {
+	res := PolicyAblationResult{Policies: []string{"shared-recency", "independent-lru"}}
+	mixes := []workload.Mix{workload.Mixes()[0], workload.Mixes()[9], workload.Mixes()[11]}
+	var baseline []float64
+	for _, mix := range mixes {
+		res.Mixes = append(res.Mixes, mix.Name)
+		cfg := sim.DefaultConfig(mix, sim.ARCC)
+		cfg.InstructionsPerCore = o.instructions()
+		cfg.UpgradedFraction = 1
+		cfg.LLCPolicy = cache.SharedRecency
+		baseline = append(baseline, sim.Run(cfg).IPCSum)
+	}
+	for pi, policy := range []cache.Policy{cache.SharedRecency, cache.IndependentLRU} {
+		row := make([]float64, len(mixes))
+		for mi, mix := range mixes {
+			cfg := sim.DefaultConfig(mix, sim.ARCC)
+			cfg.InstructionsPerCore = o.instructions()
+			cfg.UpgradedFraction = 1
+			cfg.LLCPolicy = policy
+			row[mi] = sim.Run(cfg).IPCSum / baseline[mi]
+		}
+		res.IPCRatio = append(res.IPCRatio, row)
+		_ = pi
+	}
+	return res
+}
+
+// Fprint renders the LLC policy ablation.
+func (r PolicyAblationResult) Fprint(w io.Writer) {
+	fprintf(w, "Ablation: LLC replacement for upgraded pairs (IPC vs shared-recency, all pages upgraded, §4.2.3)\n")
+	fprintf(w, "%-18s", "Policy")
+	for _, m := range r.Mixes {
+		fprintf(w, " %9s", m)
+	}
+	fprintf(w, "\n")
+	for pi, p := range r.Policies {
+		fprintf(w, "%-18s", p)
+		for mi := range r.Mixes {
+			fprintf(w, " %9.3f", r.IPCRatio[pi][mi])
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// PairingAblationResult compares the §4.2.4 sub-line pairing designs.
+type PairingAblationResult struct {
+	Mixes []string
+	// FIFORatio[m] is PairFIFO IPC / PairPromote IPC with all pages
+	// upgraded.
+	FIFORatio []float64
+}
+
+// AblationPairing measures the cost of the simpler strict-FIFO pairing
+// design relative to pointer promotion, under full upgrade pressure.
+func AblationPairing(o Options) PairingAblationResult {
+	var res PairingAblationResult
+	for _, mix := range []workload.Mix{workload.Mixes()[0], workload.Mixes()[9]} {
+		res.Mixes = append(res.Mixes, mix.Name)
+		run := func(p memctrl.Pairing) float64 {
+			cfg := sim.DefaultConfig(mix, sim.ARCC)
+			cfg.InstructionsPerCore = o.instructions()
+			cfg.UpgradedFraction = 1
+			cfg.Pairing = p
+			return sim.Run(cfg).IPCSum
+		}
+		res.FIFORatio = append(res.FIFORatio, run(memctrl.PairFIFO)/run(memctrl.PairPromote))
+	}
+	return res
+}
+
+// Fprint renders the pairing ablation.
+func (r PairingAblationResult) Fprint(w io.Writer) {
+	fprintf(w, "Ablation: sub-line pairing design (FIFO IPC / pointer-promotion IPC, all pages upgraded, §4.2.4)\n")
+	for i, m := range r.Mixes {
+		fprintf(w, "%-8s %6.3f\n", m, r.FIFORatio[i])
+	}
+}

@@ -1,0 +1,51 @@
+// Package experiments contains one regenerator per table and figure of the
+// paper's evaluation. Each Fig/Table function computes the underlying data
+// with the packages that model the system and returns a structured result;
+// each result type has a Fprint method that renders the same rows/series
+// the paper reports. The cmd/arcc-experiments binary, the root benchmark
+// suite, and the integration tests all drive these entry points.
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Options tunes experiment cost. The zero value requests paper-scale runs;
+// Quick cuts simulation volume for tests and benchmarks.
+type Options struct {
+	// Quick trades precision for speed (shorter instruction budgets,
+	// fewer Monte Carlo channels).
+	Quick bool
+	// Seed drives all randomness; fixed default when zero.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// instructions returns the per-core instruction budget for sim runs.
+func (o Options) instructions() int64 {
+	if o.Quick {
+		return 150_000
+	}
+	return 1_000_000
+}
+
+// channels returns the Monte Carlo channel count.
+func (o Options) channels() int {
+	if o.Quick {
+		return 1_000
+	}
+	return 10_000
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil {
+		panic(err) // experiment printers write to buffers/stdout; failure is programmer error
+	}
+}

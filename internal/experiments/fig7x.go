@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"io"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/sim"
+	"arcc/internal/stats"
+	"arcc/internal/workload"
+)
+
+// FaultScenario names one Fig 7.2/7.3 fault case and its upgraded-page
+// fraction (Table 7.4).
+type FaultScenario struct {
+	Name     string
+	Type     faultmodel.Type
+	Fraction float64
+}
+
+// FaultScenarios returns the four cases of Figs 7.2/7.3.
+func FaultScenarios() []FaultScenario {
+	shape := faultmodel.ARCCChannelShape()
+	return []FaultScenario{
+		{"1 Lane Fault", faultmodel.Lane, shape.UpgradedFraction(faultmodel.Lane)},
+		{"1 Device Fault", faultmodel.Device, shape.UpgradedFraction(faultmodel.Device)},
+		{"1 Subbank Fault", faultmodel.Bank, shape.UpgradedFraction(faultmodel.Bank)},
+		{"1 Column Fault", faultmodel.Column, shape.UpgradedFraction(faultmodel.Column)},
+	}
+}
+
+// Fig71Result holds the fault-free power and performance comparison.
+type Fig71Result struct {
+	Mixes []string
+	// PowerReduction[i] = 1 - ARCC/baseline power for mix i.
+	PowerReduction []float64
+	// IPCGain[i] = ARCC/baseline IPC - 1 for mix i.
+	IPCGain []float64
+	// Averages across mixes.
+	AvgPowerReduction, AvgIPCGain float64
+}
+
+// Fig71 reproduces Figure 7.1: DRAM power and performance improvement of
+// fault-free ARCC over commercial chipkill, per mix.
+func Fig71(o Options) Fig71Result {
+	var res Fig71Result
+	for _, mix := range workload.Mixes() {
+		base := runMix(mix, sim.Baseline, 0, o)
+		arcc := runMix(mix, sim.ARCC, 0, o)
+		red := 1 - arcc.PowerMW/base.PowerMW
+		gain := arcc.IPCSum/base.IPCSum - 1
+		res.Mixes = append(res.Mixes, mix.Name)
+		res.PowerReduction = append(res.PowerReduction, red)
+		res.IPCGain = append(res.IPCGain, gain)
+	}
+	res.AvgPowerReduction = stats.Mean(res.PowerReduction)
+	res.AvgIPCGain = stats.Mean(res.IPCGain)
+	return res
+}
+
+// Fprint renders the Fig 7.1 rows.
+func (r Fig71Result) Fprint(w io.Writer) {
+	fprintf(w, "Figure 7.1: Power and Performance Improvements (ARCC vs commercial chipkill, fault-free)\n")
+	fprintf(w, "%-8s %-16s %-12s\n", "Mix", "Power reduction", "IPC gain")
+	for i, m := range r.Mixes {
+		fprintf(w, "%-8s %15.1f%% %11.1f%%\n", m, r.PowerReduction[i]*100, r.IPCGain[i]*100)
+	}
+	fprintf(w, "%-8s %15.1f%% %11.1f%%\n", "AVG", r.AvgPowerReduction*100, r.AvgIPCGain*100)
+}
+
+// Fig72Result holds power (Fig 7.2) or IPC (Fig 7.3) under fault scenarios,
+// normalised to the fault-free run of the same mix.
+type FaultSweepResult struct {
+	Metric    string // "power" or "ipc"
+	Mixes     []string
+	Scenarios []FaultScenario
+	// Normalized[s][m]: scenario s, mix m, value / fault-free value.
+	Normalized [][]float64
+	// WorstCase[s] is the zero-locality analytic estimate for scenario s.
+	WorstCase []float64
+	// Avg[s] averages Normalized[s] across mixes.
+	Avg []float64
+}
+
+// Fig72 reproduces Figure 7.2 (power under faults).
+func Fig72(o Options) FaultSweepResult { return faultSweep(o, "power") }
+
+// Fig73 reproduces Figure 7.3 (performance under faults).
+func Fig73(o Options) FaultSweepResult { return faultSweep(o, "ipc") }
+
+func faultSweep(o Options, metric string) FaultSweepResult {
+	res := FaultSweepResult{Metric: metric, Scenarios: FaultScenarios()}
+	mixes := workload.Mixes()
+	clean := make([]sim.Result, len(mixes))
+	for i, mix := range mixes {
+		res.Mixes = append(res.Mixes, mix.Name)
+		clean[i] = runMix(mix, sim.ARCC, 0, o)
+	}
+	for _, sc := range res.Scenarios {
+		row := make([]float64, len(mixes))
+		for i, mix := range mixes {
+			r := runMix(mix, sim.ARCC, sc.Fraction, o)
+			if metric == "power" {
+				row[i] = r.PowerMW / clean[i].PowerMW
+			} else {
+				row[i] = r.IPCSum / clean[i].IPCSum
+			}
+		}
+		res.Normalized = append(res.Normalized, row)
+		res.Avg = append(res.Avg, stats.Mean(row))
+		if metric == "power" {
+			// Zero locality: upgraded accesses cost 2x -> +fraction.
+			res.WorstCase = append(res.WorstCase, 1+sc.Fraction)
+		} else {
+			// Zero locality, bandwidth bound: half bandwidth on the
+			// upgraded fraction.
+			res.WorstCase = append(res.WorstCase, 1-0.5*sc.Fraction)
+		}
+	}
+	return res
+}
+
+// Fprint renders a fault sweep.
+func (r FaultSweepResult) Fprint(w io.Writer) {
+	title := "Figure 7.2: Power Consumption of a Memory System with Fault (normalized to fault-free)"
+	if r.Metric == "ipc" {
+		title = "Figure 7.3: Performance of a Memory System with Fault (normalized to fault-free)"
+	}
+	fprintf(w, "%s\n%-10s", title, "Mix")
+	for _, sc := range r.Scenarios {
+		fprintf(w, " %16s", sc.Name)
+	}
+	fprintf(w, "\n")
+	for m, mix := range r.Mixes {
+		fprintf(w, "%-10s", mix)
+		for s := range r.Scenarios {
+			fprintf(w, " %16.3f", r.Normalized[s][m])
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "%-10s", "AVG")
+	for s := range r.Scenarios {
+		fprintf(w, " %16.3f", r.Avg[s])
+	}
+	fprintf(w, "\n%-10s", "worst est.")
+	for s := range r.Scenarios {
+		fprintf(w, " %16.3f", r.WorstCase[s])
+	}
+	fprintf(w, "\n")
+}
+
+// runMix runs one sim configuration.
+func runMix(mix workload.Mix, system sim.MemorySystem, upgradedFraction float64, o Options) sim.Result {
+	cfg := sim.DefaultConfig(mix, system)
+	cfg.InstructionsPerCore = o.instructions()
+	cfg.UpgradedFraction = upgradedFraction
+	cfg.Seed = o.seed()
+	return sim.Run(cfg)
+}

@@ -1,0 +1,83 @@
+package faultmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Arrival is one fault event in a simulated channel lifetime.
+type Arrival struct {
+	// AtHours is the fault's arrival time in hours since power-on.
+	AtHours float64
+	// Type is the fault type.
+	Type Type
+	// Rank is the affected rank, or -1 for lane faults (which sit on the
+	// channel's shared bus and affect every rank).
+	Rank int
+	// Device is the affected device within the rank (for lane faults, the
+	// device *position* whose lane is broken, identical in every rank).
+	Device int
+}
+
+// SampleArrivals draws the fault history of one channel over a lifespan:
+// for each fault type, a Poisson-distributed number of faults with the
+// type's FIT rate aggregated over all devices, placed uniformly in time and
+// on uniformly chosen devices. Results are sorted by arrival time.
+//
+// Every experiment passes its own seeded rng, so lifetimes are reproducible.
+func SampleArrivals(rng *rand.Rand, rates Rates, ranks, devicesPerRank int, years float64) []Arrival {
+	if ranks <= 0 || devicesPerRank <= 0 || years < 0 {
+		panic("faultmodel: invalid sampling parameters")
+	}
+	hours := years * HoursPerYear
+	totalDevices := ranks * devicesPerRank
+	var out []Arrival
+	for _, t := range Types() {
+		rate, ok := rates[t]
+		if !ok || rate == 0 {
+			continue
+		}
+		lambda := rate * 1e-9 * float64(totalDevices) * hours
+		n := poisson(rng, lambda)
+		for i := 0; i < n; i++ {
+			a := Arrival{
+				AtHours: rng.Float64() * hours,
+				Type:    t,
+				Rank:    rng.Intn(ranks),
+				Device:  rng.Intn(devicesPerRank),
+			}
+			if t == Lane {
+				a.Rank = -1
+			}
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AtHours < out[j].AtHours })
+	return out
+}
+
+// poisson draws from a Poisson distribution with mean lambda. Knuth's
+// method is exact and fast for the small lambdas (< 1) these simulations
+// use; a normal approximation covers the large-lambda tail defensively.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 100 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,109 @@
+package gf
+
+// Polynomial is a polynomial over GF(2^8), stored with the coefficient of
+// x^i at index i. The zero-length slice is the zero polynomial. Functions in
+// this file treat Polynomial values as immutable and always return fresh
+// slices.
+type Polynomial []Elem
+
+// PolyTrim returns p with trailing zero coefficients removed, so that the
+// last element (if any) is the leading, non-zero coefficient.
+func PolyTrim(p Polynomial) Polynomial {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// PolyDegree returns the degree of p, or -1 for the zero polynomial.
+func PolyDegree(p Polynomial) int { return len(PolyTrim(p)) - 1 }
+
+// PolyAdd returns a + b.
+func PolyAdd(a, b Polynomial) Polynomial {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(Polynomial, len(a))
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return PolyTrim(out)
+}
+
+// PolyMul returns a * b.
+func PolyMul(a, b Polynomial) Polynomial {
+	a, b = PolyTrim(a), PolyTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Polynomial, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= Mul(ca, cb)
+		}
+	}
+	return PolyTrim(out)
+}
+
+// PolyScale returns p * c for a scalar c.
+func PolyScale(p Polynomial, c Elem) Polynomial {
+	out := make(Polynomial, len(p))
+	for i, v := range p {
+		out[i] = Mul(v, c)
+	}
+	return PolyTrim(out)
+}
+
+// PolyEval evaluates p at x using Horner's rule.
+func PolyEval(p Polynomial, x Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyDivMod returns the quotient and remainder of a / b. It panics if b is
+// the zero polynomial.
+func PolyDivMod(a, b Polynomial) (q, r Polynomial) {
+	b = PolyTrim(b)
+	if len(b) == 0 {
+		panic("gf: polynomial division by zero")
+	}
+	r = make(Polynomial, len(a))
+	copy(r, a)
+	r = PolyTrim(r)
+	if PolyDegree(r) < PolyDegree(b) {
+		return nil, r
+	}
+	q = make(Polynomial, PolyDegree(r)-PolyDegree(b)+1)
+	lead := Inv(b[len(b)-1])
+	for PolyDegree(r) >= PolyDegree(b) {
+		d := PolyDegree(r) - PolyDegree(b)
+		c := Mul(r[len(r)-1], lead)
+		q[d] = c
+		for i, bc := range b {
+			r[d+i] ^= Mul(c, bc)
+		}
+		r = PolyTrim(r)
+	}
+	return PolyTrim(q), r
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic 2 the
+// even-power terms vanish and odd-power terms keep their coefficients.
+func PolyDeriv(p Polynomial) Polynomial {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make(Polynomial, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return PolyTrim(out)
+}

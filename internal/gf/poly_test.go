@@ -1,0 +1,152 @@
+package gf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randPoly(r *rand.Rand, maxDeg int) Polynomial {
+	n := r.Intn(maxDeg + 2)
+	p := make(Polynomial, n)
+	for i := range p {
+		p[i] = Elem(r.Intn(Size))
+	}
+	return PolyTrim(p)
+}
+
+func TestPolyTrim(t *testing.T) {
+	p := Polynomial{1, 2, 0, 0}
+	if got := PolyTrim(p); len(got) != 2 {
+		t.Fatalf("PolyTrim len = %d, want 2", len(got))
+	}
+	if got := PolyTrim(Polynomial{0, 0}); len(got) != 0 {
+		t.Fatalf("PolyTrim of zero poly len = %d, want 0", len(got))
+	}
+}
+
+func TestPolyDegree(t *testing.T) {
+	if d := PolyDegree(nil); d != -1 {
+		t.Fatalf("degree(0) = %d, want -1", d)
+	}
+	if d := PolyDegree(Polynomial{5}); d != 0 {
+		t.Fatalf("degree(const) = %d, want 0", d)
+	}
+	if d := PolyDegree(Polynomial{0, 0, 7}); d != 2 {
+		t.Fatalf("degree = %d, want 2", d)
+	}
+}
+
+func TestPolyAddSelfIsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := randPoly(r, 10)
+		if got := PolyAdd(p, p); len(got) != 0 {
+			t.Fatalf("p + p = %v, want zero polynomial", got)
+		}
+	}
+}
+
+func TestPolyMulByConstant(t *testing.T) {
+	p := Polynomial{1, 2, 3}
+	got := PolyMul(p, Polynomial{2})
+	want := PolyScale(p, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PolyMul by const = %v, want %v", got, want)
+	}
+}
+
+func TestPolyMulDegreeAdds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b := randPoly(r, 8), randPoly(r, 8)
+		da, db := PolyDegree(a), PolyDegree(b)
+		dm := PolyDegree(PolyMul(a, b))
+		if da < 0 || db < 0 {
+			if dm != -1 {
+				t.Fatalf("mul with zero poly has degree %d", dm)
+			}
+			continue
+		}
+		if dm != da+db {
+			t.Fatalf("deg(a*b) = %d, want %d + %d", dm, da, db)
+		}
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 evaluated the long way.
+	p := Polynomial{3, 2, 1}
+	for x := 0; x < Size; x++ {
+		e := Elem(x)
+		want := Add(Add(3, Mul(2, e)), Mul(e, e))
+		if got := PolyEval(p, e); got != want {
+			t.Fatalf("PolyEval(p, %d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestPolyDivModReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := randPoly(r, 12)
+		b := randPoly(r, 6)
+		if PolyDegree(b) < 0 {
+			continue
+		}
+		q, rem := PolyDivMod(a, b)
+		if PolyDegree(rem) >= PolyDegree(b) {
+			t.Fatalf("deg(rem) = %d >= deg(b) = %d", PolyDegree(rem), PolyDegree(b))
+		}
+		back := PolyAdd(PolyMul(q, b), rem)
+		if !reflect.DeepEqual(PolyTrim(back), PolyTrim(a)) {
+			t.Fatalf("q*b + r = %v, want %v", back, a)
+		}
+	}
+}
+
+func TestPolyDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PolyDivMod by zero did not panic")
+		}
+	}()
+	PolyDivMod(Polynomial{1}, nil)
+}
+
+func TestPolyDeriv(t *testing.T) {
+	// d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+	p := Polynomial{10, 20, 30, 40}
+	got := PolyDeriv(p)
+	want := Polynomial{20, 0, 40}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PolyDeriv = %v, want %v", got, want)
+	}
+	if PolyDeriv(Polynomial{7}) != nil {
+		t.Fatal("derivative of constant must be zero polynomial")
+	}
+}
+
+func TestPolyMulCommutative(t *testing.T) {
+	f := func(a, b []byte) bool {
+		pa, pb := PolyTrim(Polynomial(a)), PolyTrim(Polynomial(b))
+		return reflect.DeepEqual(PolyMul(pa, pb), PolyMul(pb, pa))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyEvalRootOfLinearFactor(t *testing.T) {
+	// (x - r) has root r: eval of PolyMul(anything, (x-r)) at r is 0.
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		root := Elem(r.Intn(Size))
+		factor := Polynomial{root, 1} // x + root == x - root
+		p := PolyMul(randPoly(r, 6), factor)
+		if got := PolyEval(p, root); got != 0 {
+			t.Fatalf("polynomial with root %d evaluates to %d", root, got)
+		}
+	}
+}

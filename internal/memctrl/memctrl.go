@@ -1,0 +1,299 @@
+// Package memctrl models memory-controller timing for the performance
+// experiments: closed-page policy (every access is an activate + column
+// access + precharge), per-bank occupancy, shared data-bus occupancy per
+// channel, and the lockstep pairing of two channels for upgraded (128 B)
+// and baseline commercial-chipkill accesses.
+//
+// Time is measured in DRAM clock cycles (DDR2-667: 333 MHz, 3 ns/cycle).
+// The model books resources greedily in request order, which matches an
+// FR-FCFS scheduler under a closed-page policy closely enough for the
+// comparative experiments: what the figures need is (a) bank/rank-level
+// parallelism — the ARCC configuration has 2 channels x 2 ranks versus the
+// baseline's single lockstep rank, which is where its +5.9% IPC comes from
+// — and (b) data-bus occupancy, which is where the worst-case bandwidth
+// halving for upgraded pages comes from.
+package memctrl
+
+import (
+	"fmt"
+
+	"arcc/internal/power"
+)
+
+// Timing holds DDR2 command timings in DRAM clock cycles.
+type Timing struct {
+	TRCD  int // activate to column command
+	CL    int // column command to first data
+	TRC   int // activate to activate, same bank
+	Burst int // data-bus cycles per 64 B line transfer
+	// TRP is precharge time, used by the open-page policy.
+	TRP int
+	// TREFI/TRFC model auto-refresh: every TREFI cycles each rank is
+	// unavailable for TRFC cycles. Zero TREFI disables refresh modeling.
+	TREFI int
+	TRFC  int
+}
+
+// DDR2X8Timing is the ARCC channel: 18 x8 devices form a 144-bit bus and
+// move a 72 B line (data + check) in a 4-beat burst = 2 data-bus clocks.
+func DDR2X8Timing() Timing { return Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2} }
+
+// DDR2X4Timing is the baseline channel: a 36 x4-device rank also forms a
+// 144-bit bus (two physical 72-bit channels in lockstep, §4.2.4), so a
+// 64 B line is likewise a 4-beat burst = 2 data-bus clocks. The baseline
+// differs from ARCC in rank count (1 vs 2 per channel) and devices touched
+// per access (36 vs 18), not in bus width.
+func DDR2X4Timing() Timing { return Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2} }
+
+// Config shapes a controller.
+type Config struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	Timing          Timing
+	// DevicesPerAccess is the device count charged to the power meter for
+	// one single-channel access (18 for ARCC, 36 for the lockstep
+	// baseline whose two physical channels fire together).
+	DevicesPerAccess int
+	// BurstBeats is the per-device burst length for power accounting.
+	BurstBeats int
+	// Pairing selects the upgraded-access pairing design (§4.2.4). The
+	// zero value is the pointer-promotion design.
+	Pairing Pairing
+}
+
+// Controller books command timing and records power events.
+type Controller struct {
+	cfg   Config
+	meter *power.Meter
+
+	bankFree [][]int64 // [channel][rank*banks] next-free cycle
+	openRow  [][]int64 // [channel][rank*banks] open row (-1: precharged); open-page only
+	busFree  []int64   // [channel]
+
+	reads, writes  int64
+	busBusy        int64 // accumulated data-bus busy cycles (all channels)
+	bankBusy       int64 // accumulated bank busy cycles
+	lastCompletion int64
+}
+
+// New creates a controller. meter may be nil to skip power accounting.
+func New(cfg Config, meter *power.Meter) *Controller {
+	if cfg.Channels <= 0 || cfg.RanksPerChannel <= 0 || cfg.BanksPerRank <= 0 ||
+		cfg.DevicesPerAccess <= 0 || cfg.BurstBeats <= 0 {
+		panic(fmt.Sprintf("memctrl: invalid config %+v", cfg))
+	}
+	if cfg.Timing.TRCD <= 0 || cfg.Timing.CL <= 0 || cfg.Timing.TRC <= 0 || cfg.Timing.Burst <= 0 {
+		panic(fmt.Sprintf("memctrl: invalid timing %+v", cfg.Timing))
+	}
+	banks := make([][]int64, cfg.Channels)
+	rows := make([][]int64, cfg.Channels)
+	for i := range banks {
+		banks[i] = make([]int64, cfg.RanksPerChannel*cfg.BanksPerRank)
+		rows[i] = make([]int64, cfg.RanksPerChannel*cfg.BanksPerRank)
+		for j := range rows[i] {
+			rows[i][j] = -1
+		}
+	}
+	return &Controller{cfg: cfg, meter: meter, bankFree: banks, openRow: rows, busFree: make([]int64, cfg.Channels)}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// TotalBanks returns channels * ranks * banks — the parallelism available.
+func (c *Controller) TotalBanks() int {
+	return c.cfg.Channels * c.cfg.RanksPerChannel * c.cfg.BanksPerRank
+}
+
+// Access books one 64 B access on (channel, globalBank) starting no earlier
+// than now, and returns its completion cycle. globalBank indexes
+// rank*BanksPerRank + bank within the channel.
+func (c *Controller) Access(now int64, channel, globalBank int, write bool) int64 {
+	if channel < 0 || channel >= c.cfg.Channels {
+		panic(fmt.Sprintf("memctrl: channel %d out of range", channel))
+	}
+	if globalBank < 0 || globalBank >= c.cfg.RanksPerChannel*c.cfg.BanksPerRank {
+		panic(fmt.Sprintf("memctrl: bank %d out of range", globalBank))
+	}
+	t := c.cfg.Timing
+	start := max64(now, c.bankFree[channel][globalBank])
+	start = c.afterRefresh(start)
+	dataReady := start + int64(t.TRCD+t.CL)
+	dataStart := max64(dataReady, c.busFree[channel])
+	complete := dataStart + int64(t.Burst)
+	c.busFree[channel] = complete
+	c.bankFree[channel][globalBank] = start + int64(t.TRC)
+	c.busBusy += int64(t.Burst)
+	c.bankBusy += int64(t.TRC)
+	if complete > c.lastCompletion {
+		c.lastCompletion = complete
+	}
+
+	if c.meter != nil {
+		c.meter.RecordActivate(c.cfg.DevicesPerAccess)
+		if write {
+			c.meter.RecordWrite(c.cfg.DevicesPerAccess, c.cfg.BurstBeats)
+		} else {
+			c.meter.RecordRead(c.cfg.DevicesPerAccess, c.cfg.BurstBeats)
+		}
+	}
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	return complete
+}
+
+// Pairing selects the §4.2.4 design for keeping the two sub-lines of an
+// upgraded access together.
+type Pairing int
+
+const (
+	// PairPromote is the pointer-promotion design: each channel schedules
+	// its sub-line independently (the partner is promoted to the head of
+	// the other channel's queue when the first reaches its head); the
+	// access completes when the slower channel finishes.
+	PairPromote Pairing = iota
+	// PairFIFO is the strict-FIFO sub-line queue design: both channels
+	// synchronise before issuing, so neither sub-line starts until both
+	// channels' banks are free. Simpler hardware, slightly worse latency —
+	// the ablation benchmarks quantify the difference.
+	PairFIFO
+)
+
+// AccessPaired books the two sub-line accesses of an upgraded 128 B line on
+// the same global bank of both channels, under the controller's pairing
+// policy (Config.Pairing). Only valid on two-channel configurations.
+func (c *Controller) AccessPaired(now int64, globalBank int, write bool) int64 {
+	if c.cfg.Channels != 2 {
+		panic("memctrl: AccessPaired requires a two-channel configuration")
+	}
+	start := now
+	if c.cfg.Pairing == PairFIFO {
+		// Synchronised issue: wait for BOTH channels' banks.
+		for ch := 0; ch < 2; ch++ {
+			if free := c.bankFree[ch][globalBank]; free > start {
+				start = free
+			}
+		}
+	}
+	// Each channel is a full access of its own (18 devices each).
+	t0 := c.Access(start, 0, globalBank, write)
+	t1 := c.Access(start, 1, globalBank, write)
+	return max64(t0, t1)
+}
+
+// AccessOpenPage books one 64 B access under an OPEN-page row-buffer
+// policy: the row stays open after the access, so a subsequent access to
+// the same row skips the activate (row hit: CL + burst), while a different
+// row pays precharge + activate (row miss). The paper's evaluated
+// configuration is closed-page (use Access); this entry point exists for
+// the row-policy ablation.
+func (c *Controller) AccessOpenPage(now int64, channel, globalBank int, row int64, write bool) int64 {
+	if channel < 0 || channel >= c.cfg.Channels {
+		panic(fmt.Sprintf("memctrl: channel %d out of range", channel))
+	}
+	if globalBank < 0 || globalBank >= c.cfg.RanksPerChannel*c.cfg.BanksPerRank {
+		panic(fmt.Sprintf("memctrl: bank %d out of range", globalBank))
+	}
+	if row < 0 {
+		panic("memctrl: negative row")
+	}
+	t := c.cfg.Timing
+	trp := t.TRP
+	if trp == 0 {
+		trp = t.TRCD // sensible DDR2 default: tRP == tRCD
+	}
+	start := max64(now, c.bankFree[channel][globalBank])
+	start = c.afterRefresh(start)
+	var dataReady int64
+	if c.openRow[channel][globalBank] == row {
+		// Row hit: column access only.
+		dataReady = start + int64(t.CL)
+	} else {
+		// Row miss: precharge (if a row is open) + activate + column.
+		penalty := int64(t.TRCD + t.CL)
+		if c.openRow[channel][globalBank] >= 0 {
+			penalty += int64(trp)
+		}
+		dataReady = start + penalty
+	}
+	dataStart := max64(dataReady, c.busFree[channel])
+	complete := dataStart + int64(t.Burst)
+	c.busFree[channel] = complete
+	c.bankFree[channel][globalBank] = complete
+	c.openRow[channel][globalBank] = row
+	c.busBusy += int64(t.Burst)
+	c.bankBusy += complete - start
+	if complete > c.lastCompletion {
+		c.lastCompletion = complete
+	}
+	if c.meter != nil {
+		// Activates only on row misses; the row-hit stream amortises them.
+		if dataReady != start+int64(t.CL) {
+			c.meter.RecordActivate(c.cfg.DevicesPerAccess)
+		}
+		if write {
+			c.meter.RecordWrite(c.cfg.DevicesPerAccess, c.cfg.BurstBeats)
+		} else {
+			c.meter.RecordRead(c.cfg.DevicesPerAccess, c.cfg.BurstBeats)
+		}
+	}
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	return complete
+}
+
+// Stats returns read/write counts.
+func (c *Controller) Stats() (reads, writes int64) { return c.reads, c.writes }
+
+// BusUtilization returns the fraction of elapsed cycles the data buses were
+// busy (averaged over channels). elapsed must be positive.
+func (c *Controller) BusUtilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		panic("memctrl: non-positive elapsed time")
+	}
+	return float64(c.busBusy) / float64(elapsed*int64(c.cfg.Channels))
+}
+
+// BankUtilization returns the average fraction of time banks were busy —
+// the activeFraction input of the background power model.
+func (c *Controller) BankUtilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		panic("memctrl: non-positive elapsed time")
+	}
+	u := float64(c.bankBusy) / float64(elapsed*int64(c.TotalBanks()))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// LastCompletion returns the cycle at which the last booked access finishes.
+func (c *Controller) LastCompletion() int64 { return c.lastCompletion }
+
+// afterRefresh pushes a command start time out of any refresh window: with
+// auto-refresh enabled, the first TRFC cycles of every TREFI period are
+// consumed by the refresh command (all banks of the rank busy).
+func (c *Controller) afterRefresh(start int64) int64 {
+	t := c.cfg.Timing
+	if t.TREFI <= 0 || t.TRFC <= 0 {
+		return start
+	}
+	if offset := start % int64(t.TREFI); offset < int64(t.TRFC) {
+		return start - offset + int64(t.TRFC)
+	}
+	return start
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewStartsUpgraded(t *testing.T) {
+	tbl := New(100)
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if tbl.Mode(i) != Upgraded {
+			t.Fatalf("page %d starts in %v, want upgraded (boot state)", i, tbl.Mode(i))
+		}
+	}
+	if tbl.Count(Upgraded) != 100 || tbl.Count(Relaxed) != 0 {
+		t.Fatal("counts wrong after New")
+	}
+}
+
+func TestNewPanicsOnZeroPages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestRelaxAllThenUpgrade(t *testing.T) {
+	tbl := New(10)
+	tbl.RelaxAll()
+	if tbl.Count(Relaxed) != 10 || tbl.UpgradedFraction() != 0 {
+		t.Fatal("RelaxAll did not relax everything")
+	}
+	if got := tbl.Upgrade(3); got != Upgraded {
+		t.Fatalf("Upgrade returned %v, want upgraded", got)
+	}
+	if tbl.Mode(3) != Upgraded || tbl.Count(Upgraded) != 1 || tbl.Count(Relaxed) != 9 {
+		t.Fatal("counts wrong after one upgrade")
+	}
+	if f := tbl.UpgradedFraction(); f != 0.1 {
+		t.Fatalf("UpgradedFraction = %v, want 0.1", f)
+	}
+}
+
+func TestUpgradeLevels(t *testing.T) {
+	tbl := New(4)
+	tbl.RelaxAll()
+	if got := tbl.Upgrade(0); got != Upgraded {
+		t.Fatalf("first upgrade -> %v", got)
+	}
+	if got := tbl.Upgrade(0); got != Upgraded8 {
+		t.Fatalf("second upgrade -> %v", got)
+	}
+	if got := tbl.Upgrade(0); got != Upgraded8 {
+		t.Fatalf("third upgrade -> %v, want to stay at upgraded8", got)
+	}
+	if tbl.Count(Upgraded8) != 1 {
+		t.Fatal("upgraded8 count wrong")
+	}
+}
+
+func TestSetModeIdempotent(t *testing.T) {
+	tbl := New(5)
+	tbl.SetMode(2, Upgraded)
+	tbl.SetMode(2, Upgraded)
+	if tbl.Count(Upgraded) != 5 {
+		t.Fatalf("count drifted on idempotent SetMode: %d", tbl.Count(Upgraded))
+	}
+}
+
+func TestCountsAlwaysSumToLen(t *testing.T) {
+	tbl := New(64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		page := rng.Intn(64)
+		switch rng.Intn(3) {
+		case 0:
+			tbl.SetMode(page, Mode(rng.Intn(3)))
+		case 1:
+			tbl.Upgrade(page)
+		case 2:
+			if rng.Intn(100) == 0 {
+				tbl.RelaxAll()
+			}
+		}
+		if got := tbl.Count(Relaxed) + tbl.Count(Upgraded) + tbl.Count(Upgraded8); got != 64 {
+			t.Fatalf("iteration %d: counts sum to %d, want 64", i, got)
+		}
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	tbl := New(4)
+	for name, f := range map[string]func(){
+		"Mode out of range":  func() { tbl.Mode(4) },
+		"SetMode page range": func() { tbl.SetMode(-1, Relaxed) },
+		"SetMode bad mode":   func() { tbl.SetMode(0, Mode(7)) },
+		"Count bad mode":     func() { tbl.Count(Mode(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Relaxed.String() != "relaxed" || Upgraded.String() != "upgraded" || Upgraded8.String() != "upgraded8" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still print")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tbl := New(100)
+	tbl.RelaxAll()
+	tlb := NewTLB(tbl, 4)
+	if got := tlb.Lookup(7); got != Relaxed {
+		t.Fatalf("Lookup = %v", got)
+	}
+	hits, misses := tlb.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("stats after first lookup: %d/%d", hits, misses)
+	}
+	tlb.Lookup(7)
+	hits, misses = tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats after repeat lookup: %d/%d", hits, misses)
+	}
+}
+
+func TestTLBCachesStaleModeUntilInvalidate(t *testing.T) {
+	// The TLB deliberately caches the flag; the scrubber must invalidate
+	// after changing a page's mode. This test pins that contract.
+	tbl := New(10)
+	tbl.RelaxAll()
+	tlb := NewTLB(tbl, 4)
+	if tlb.Lookup(3) != Relaxed {
+		t.Fatal("initial lookup")
+	}
+	tbl.SetMode(3, Upgraded)
+	if tlb.Lookup(3) != Relaxed {
+		t.Fatal("TLB should still serve the cached (stale) flag")
+	}
+	tlb.Invalidate(3)
+	if tlb.Lookup(3) != Upgraded {
+		t.Fatal("after invalidate, TLB must refetch the new mode")
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tbl := New(10)
+	tbl.RelaxAll()
+	tlb := NewTLB(tbl, 2)
+	tlb.Lookup(0) // miss
+	tlb.Lookup(1) // miss
+	tlb.Lookup(0) // hit, makes 1 the LRU
+	tlb.Lookup(2) // miss, evicts 1
+	tlb.Lookup(0) // must still hit
+	hits, misses := tlb.Stats()
+	if hits != 2 || misses != 3 {
+		t.Fatalf("stats %d/%d, want 2 hits / 3 misses", hits, misses)
+	}
+	tlb.Lookup(1) // must miss again (was evicted)
+	_, misses = tlb.Stats()
+	if misses != 4 {
+		t.Fatalf("misses = %d, want 4", misses)
+	}
+}
+
+func TestTLBInvalidateAll(t *testing.T) {
+	tbl := New(10)
+	tlb := NewTLB(tbl, 8)
+	for i := 0; i < 5; i++ {
+		tlb.Lookup(i)
+	}
+	tlb.InvalidateAll()
+	tlb.Lookup(0)
+	hits, _ := tlb.Stats()
+	if hits != 0 {
+		t.Fatal("lookup after InvalidateAll should miss")
+	}
+}
+
+func TestTLBPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTLB(_, 0) did not panic")
+		}
+	}()
+	NewTLB(New(1), 0)
+}

@@ -1,0 +1,75 @@
+package pagetable
+
+import "fmt"
+
+// TLB is a small fully-associative translation cache that carries the
+// strength flag alongside each translation (§4.2.1: "each physical page
+// entry and the corresponding TLB entry is modified to contain an
+// additional 1-bit flag"). LRU replacement. The model's purpose is to show
+// that mode lookups stay off the page-table critical path, so it tracks
+// hit/miss statistics.
+type TLB struct {
+	table    *Table
+	capacity int
+	entries  map[int]*tlbEntry
+	clock    int64
+
+	hits, misses int64
+}
+
+type tlbEntry struct {
+	mode    Mode
+	lastUse int64
+}
+
+// NewTLB creates a TLB over table with the given entry capacity.
+func NewTLB(table *Table, capacity int) *TLB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pagetable: invalid TLB capacity %d", capacity))
+	}
+	return &TLB{table: table, capacity: capacity, entries: make(map[int]*tlbEntry, capacity)}
+}
+
+// Lookup returns the strength flag for page, filling the TLB on a miss.
+func (t *TLB) Lookup(page int) Mode {
+	t.clock++
+	if e, ok := t.entries[page]; ok {
+		t.hits++
+		e.lastUse = t.clock
+		return e.mode
+	}
+	t.misses++
+	mode := t.table.Mode(page)
+	if len(t.entries) >= t.capacity {
+		t.evictLRU()
+	}
+	t.entries[page] = &tlbEntry{mode: mode, lastUse: t.clock}
+	return mode
+}
+
+// Invalidate drops the entry for page, if cached. The scrubber invalidates
+// entries for pages whose mode it changes; a real system would shoot down
+// remote TLBs the same way.
+func (t *TLB) Invalidate(page int) {
+	delete(t.entries, page)
+}
+
+// InvalidateAll empties the TLB (end-of-scrub global shootdown).
+func (t *TLB) InvalidateAll() {
+	t.entries = make(map[int]*tlbEntry, t.capacity)
+}
+
+// Stats returns hit and miss counts.
+func (t *TLB) Stats() (hits, misses int64) { return t.hits, t.misses }
+
+func (t *TLB) evictLRU() {
+	var victim int
+	var oldest int64 = 1<<63 - 1
+	for page, e := range t.entries {
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = page
+		}
+	}
+	delete(t.entries, victim)
+}

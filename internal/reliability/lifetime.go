@@ -1,0 +1,115 @@
+package reliability
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcc/internal/faultmodel"
+)
+
+// FaultyPageFraction reproduces Fig 3.1: the average fraction of a
+// channel's 4 KB pages that has been affected by at least one fault, as a
+// function of operational lifespan, under the worst-case assumption that
+// every location under faulty circuitry is corrupted. It Monte Carlo
+// averages over channels and returns one value per year 1..years.
+func FaultyPageFraction(rng *rand.Rand, rates faultmodel.Rates, shape faultmodel.ChannelShape,
+	ranks, devicesPerRank int, years, channels int) []float64 {
+	if years <= 0 || channels <= 0 {
+		panic("reliability: invalid years/channels")
+	}
+	sums := make([]float64, years)
+	for ch := 0; ch < channels; ch++ {
+		arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+		// Union bound capped at 1: fault spans are large and disjointness
+		// dominates at these counts, so the cap only binds for multi-fault
+		// channels with lane faults.
+		idx := 0
+		frac := 0.0
+		for y := 1; y <= years; y++ {
+			limit := float64(y) * faultmodel.HoursPerYear
+			for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+				frac += shape.UpgradedFraction(arrivals[idx].Type)
+				idx++
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			sums[y-1] += frac
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(channels)
+	}
+	return sums
+}
+
+// OverheadByType maps the large-span fault types to the overhead (power
+// increase or performance decrease, as a fraction) a channel suffers once
+// that fault's pages are upgraded — the per-fault measurements of
+// Figs 7.2/7.3 feed in here.
+type OverheadByType map[faultmodel.Type]float64
+
+// LifetimeOverhead reproduces the Fig 7.4/7.5 methodology: Monte Carlo over
+// channels channels, each accumulating the overhead of every fault from its
+// arrival time onward (additive per fault, capped at cap — the overhead of
+// a fully-upgraded memory). For each year X it reports the overhead
+// time-averaged from power-on through the end of year X, averaged over
+// channels.
+func LifetimeOverhead(rng *rand.Rand, rates faultmodel.Rates, ranks, devicesPerRank int,
+	years, channels int, overhead OverheadByType, cap float64) []float64 {
+	if years <= 0 || channels <= 0 || cap <= 0 {
+		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
+	}
+	totalHours := float64(years) * faultmodel.HoursPerYear
+	sums := make([]float64, years)
+	for ch := 0; ch < channels; ch++ {
+		arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+		// Build the overhead step function and integrate it.
+		integrated := 0.0 // overhead-hours accumulated so far
+		current := 0.0
+		lastT := 0.0
+		idx := 0
+		for y := 1; y <= years; y++ {
+			limit := float64(y) * faultmodel.HoursPerYear
+			for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+				a := arrivals[idx]
+				integrated += current * (a.AtHours - lastT)
+				lastT = a.AtHours
+				if ov, ok := overhead[a.Type]; ok {
+					current += ov
+					if current > cap {
+						current = cap
+					}
+				}
+				idx++
+			}
+			integrated += current * (limit - lastT)
+			lastT = limit
+			sums[y-1] += integrated / limit
+		}
+		_ = totalHours
+	}
+	for i := range sums {
+		sums[i] /= float64(channels)
+	}
+	return sums
+}
+
+// WorstCaseOverheads derives the Fig 7.4/7.5 "worst case est." inputs from
+// Table 7.4 spans: with zero spatial locality, every access to an upgraded
+// page costs factor-1 extra (factor 2 for ARCC on commercial chipkill:
+// double power, half bandwidth), so a fault that upgrades fraction f of
+// pages costs (factor-1)*f.
+func WorstCaseOverheads(shape faultmodel.ChannelShape, factor float64) OverheadByType {
+	if factor < 1 {
+		panic("reliability: worst-case factor below 1")
+	}
+	out := OverheadByType{}
+	for _, t := range faultmodel.Types() {
+		if t.IsTransientScale() {
+			continue // page-scale spans: negligible overhead (Table 7.4)
+		}
+		out[t] = (factor - 1) * shape.UpgradedFraction(t)
+	}
+	return out
+}

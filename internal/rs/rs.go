@@ -1,0 +1,136 @@
+// Package rs implements a systematic Reed–Solomon codec over GF(2^8).
+//
+// Chipkill-correct memory systems protect each memory word with a
+// symbol-based linear block code whose symbols are spread across DRAM
+// devices, one symbol per device, so that a whole-device failure corrupts at
+// most one symbol per codeword. This package provides the code itself:
+//
+//   - Code{N, K} describes an (N, K) code with N-K check symbols.
+//   - Encode appends check symbols to K data symbols.
+//   - Decode corrects up to floor((N-K)/2) symbol errors and reports
+//     detected-but-uncorrectable patterns.
+//   - DecodeErasures corrects up to N-K erasures at known positions
+//     (used by double chip sparing once a failed device is identified).
+//
+// The configurations used by the ARCC evaluation are (18, 16) for relaxed
+// pages (2 check symbols: single symbol correct OR single symbol detect,
+// depending on decode policy) and (36, 32) for upgraded pages (4 check
+// symbols: single correct + double detect as in commercial SCCDCD).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"arcc/internal/gf"
+)
+
+// ErrUncorrectable reports a codeword whose error pattern exceeds the code's
+// correction capability but was still detected (a DUE, in memory terms).
+var ErrUncorrectable = errors.New("rs: detected uncorrectable error")
+
+// Code is an (N, K) systematic Reed–Solomon code over GF(2^8). Codewords are
+// laid out data-first: positions 0..K-1 hold data symbols, K..N-1 hold check
+// symbols. Code values are immutable and safe for concurrent use.
+type Code struct {
+	n, k int
+	gen  gf.Polynomial // generator polynomial, degree n-k
+}
+
+// New constructs an (n, k) code. It panics if the parameters are outside
+// 0 < k < n <= 255: code construction is configuration, not runtime input.
+func New(n, k int) *Code {
+	if k <= 0 || n <= k || n > gf.Order {
+		panic(fmt.Sprintf("rs: invalid code parameters (n=%d, k=%d)", n, k))
+	}
+	// g(x) = (x - alpha^0)(x - alpha^1)...(x - alpha^(n-k-1))
+	gen := gf.Polynomial{1}
+	for i := 0; i < n-k; i++ {
+		gen = gf.PolyMul(gen, gf.Polynomial{gf.Exp(i), 1})
+	}
+	return &Code{n: n, k: k, gen: gen}
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data symbols per codeword.
+func (c *Code) K() int { return c.k }
+
+// CheckSymbols returns the number of check symbols per codeword, N-K.
+func (c *Code) CheckSymbols() int { return c.n - c.k }
+
+// MaxCorrectable returns the number of symbol errors the code can correct
+// with errors-only decoding, floor((N-K)/2).
+func (c *Code) MaxCorrectable() int { return (c.n - c.k) / 2 }
+
+// Encode computes the codeword for data (length K) and returns a fresh
+// N-symbol slice: data followed by check symbols. It panics if len(data) != K.
+func (c *Code) Encode(data []byte) []byte {
+	if len(data) != c.k {
+		panic(fmt.Sprintf("rs: Encode called with %d data symbols, want %d", len(data), c.k))
+	}
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	c.EncodeInto(cw)
+	return cw
+}
+
+// EncodeInto recomputes the check symbols of cw (length N) in place from its
+// first K data symbols.
+func (c *Code) EncodeInto(cw []byte) {
+	if len(cw) != c.n {
+		panic(fmt.Sprintf("rs: EncodeInto called with %d symbols, want %d", len(cw), c.n))
+	}
+	// Systematic encoding: check symbols are the remainder of
+	// data(x) * x^(n-k) divided by g(x). The message polynomial places
+	// data[0] (codeword position 0) at the highest power, so the codeword
+	// read as a polynomial is cw[0]*x^(n-1) + ... + cw[n-1]*x^0 and has the
+	// generator's roots alpha^0..alpha^(n-k-1).
+	nk := c.n - c.k
+	rem := make([]byte, nk)
+	lead := c.gen[nk] // == 1, generator is monic
+	_ = lead
+	for i := 0; i < c.k; i++ {
+		factor := cw[i] ^ rem[0]
+		copy(rem, rem[1:])
+		rem[nk-1] = 0
+		if factor != 0 {
+			for j := 0; j < nk; j++ {
+				// gen coefficients from highest-1 down to 0.
+				rem[j] ^= gf.Mul(factor, c.gen[nk-1-j])
+			}
+		}
+	}
+	copy(cw[c.k:], rem)
+}
+
+// Syndromes computes the N-K syndromes of cw. All zero syndromes mean the
+// codeword is consistent (either error-free, or an undetectable error
+// pattern that aliases to another valid codeword).
+func (c *Code) Syndromes(cw []byte) []byte {
+	if len(cw) != c.n {
+		panic(fmt.Sprintf("rs: Syndromes called with %d symbols, want %d", len(cw), c.n))
+	}
+	syn := make([]byte, c.n-c.k)
+	for i := range syn {
+		// S_i = cw(alpha^i) with cw[0] the highest-power coefficient.
+		var s byte
+		x := gf.Exp(i)
+		for _, v := range cw {
+			s = gf.Mul(s, x) ^ v
+		}
+		syn[i] = s
+	}
+	return syn
+}
+
+// Check reports whether cw is a consistent codeword (all syndromes zero).
+func (c *Code) Check(cw []byte) bool {
+	for _, s := range c.Syndromes(cw) {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}

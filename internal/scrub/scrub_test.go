@@ -1,0 +1,234 @@
+package scrub
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"arcc/internal/core"
+	"arcc/internal/dram"
+	"arcc/internal/pagetable"
+)
+
+func newMem(t *testing.T) *core.Controller {
+	t.Helper()
+	c := core.New(core.Config{Pages: 16, RanksPerChannel: 2, BanksPerDevice: 8, RowsPerBank: 1})
+	c.RelaxAll()
+	return c
+}
+
+func fillPage(t *testing.T, c *core.Controller, page int, r *rand.Rand) [][]byte {
+	t.Helper()
+	want := make([][]byte, core.LinesPerPage)
+	for line := range want {
+		want[line] = make([]byte, core.LineBytes)
+		r.Read(want[line])
+		if err := c.WriteLine(page, line, want[line]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+func TestCleanMemoryScrubFindsNothing(t *testing.T) {
+	c := newMem(t)
+	s := New(c, FourStep)
+	r := rand.New(rand.NewSource(1))
+	fillPage(t, c, 0, r)
+	if faulty := s.FullScrub(); len(faulty) != 0 {
+		t.Fatalf("clean memory reported faulty pages %v", faulty)
+	}
+	st := s.Stats()
+	if st.Scrubs != 1 || st.FaultyPages != 0 || st.PagesUpgraded != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestScrubPreservesData(t *testing.T) {
+	c := newMem(t)
+	s := New(c, FourStep)
+	r := rand.New(rand.NewSource(2))
+	want := fillPage(t, c, 3, r)
+	s.FullScrub()
+	for line, w := range want {
+		got, err := c.ReadLine(3, line)
+		if err != nil {
+			t.Fatalf("line %d: %v", line, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d: scrub destroyed data", line)
+		}
+	}
+}
+
+func TestScrubDetectsActiveFaultAndUpgrades(t *testing.T) {
+	c := newMem(t)
+	s := New(c, FourStep)
+	r := rand.New(rand.NewSource(3))
+	want := fillPage(t, c, 0, r)
+	// WrongData faults produce nonzero syndromes on normal reads.
+	c.InjectFault(0, 0, dram.Fault{Device: 6, Scope: dram.ScopeDevice, Mode: dram.WrongData})
+
+	faulty := s.FullScrub()
+	if len(faulty) == 0 {
+		t.Fatal("scrub missed an active device fault")
+	}
+	// Pages in rank 0 of channel 0 must now be upgraded.
+	for _, page := range faulty {
+		if c.PageMode(page) != pagetable.Upgraded {
+			t.Fatalf("faulty page %d not upgraded", page)
+		}
+	}
+	// Data must survive detection + upgrade.
+	for line, w := range want {
+		got, err := c.ReadLine(0, line)
+		if err != nil {
+			t.Fatalf("line %d after upgrade: %v", line, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("line %d: data lost through scrub+upgrade", line)
+		}
+	}
+}
+
+func TestFourStepFindsHiddenStuckAtFault(t *testing.T) {
+	// The decisive difference between the scrubbers: a stuck-at-0 device
+	// in a region currently storing zeros is invisible to ECC reads but
+	// the all-ones pass exposes it.
+	cFour := newMem(t)
+	cConv := newMem(t)
+	// Memory content: all zeros (fresh pages). Stuck-at-0 on device 2.
+	for _, c := range []*core.Controller{cFour, cConv} {
+		c.InjectFault(0, 0, dram.Fault{Device: 2, Scope: dram.ScopeDevice, Mode: dram.StuckAt0})
+	}
+
+	four := New(cFour, FourStep)
+	conv := New(cConv, Conventional)
+
+	faultyFour := four.FullScrub()
+	faultyConv := conv.FullScrub()
+
+	if len(faultyFour) == 0 {
+		t.Fatal("four-step scrubber missed hidden stuck-at-0 fault")
+	}
+	if four.Stats().HiddenStuckAt == 0 {
+		t.Fatal("hidden fault not attributed to the pattern tests")
+	}
+	if len(faultyConv) != 0 {
+		t.Fatal("conventional scrubber should NOT see the hidden fault (that is why ARCC hardens it)")
+	}
+}
+
+func TestBootScrubRelaxesFaultFreePagesOnly(t *testing.T) {
+	c := core.New(core.Config{Pages: 16, RanksPerChannel: 2, BanksPerDevice: 8, RowsPerBank: 1})
+	// Boot state: everything upgraded. Fault in channel 0, rank 0, bank 3:
+	// pages mapping to bank 3 of rank 0 stay upgraded.
+	c.InjectFault(0, 0, dram.Fault{Device: 1, Scope: dram.ScopeBank, Mode: dram.WrongData, Bank: 3})
+	s := New(c, FourStep)
+	relaxed := s.BootScrub()
+	if relaxed == 0 || relaxed == c.Pages() {
+		t.Fatalf("BootScrub relaxed %d of %d pages; want some but not all", relaxed, c.Pages())
+	}
+	upgraded := c.Table().Count(pagetable.Upgraded)
+	if upgraded+relaxed != c.Pages() {
+		t.Fatalf("page accounting broken: %d upgraded + %d relaxed != %d", upgraded, relaxed, c.Pages())
+	}
+	// Exactly the pages of bank 3, rank 0 remain upgraded: 2 of 16 pages
+	// (16 pages span 2 ranks x 8 banks with this tiny geometry).
+	if upgraded != 2 {
+		t.Fatalf("%d pages stayed upgraded, want 2 (bank-3 pages of rank 0)", upgraded)
+	}
+}
+
+func TestScrubPageReportsOnlyFaultyPages(t *testing.T) {
+	// 32 pages over 2 ranks (16 pages per rank with this geometry):
+	// pages 16..31 live in rank 1.
+	c := core.New(core.Config{Pages: 32, RanksPerChannel: 2, BanksPerDevice: 8, RowsPerBank: 1})
+	c.RelaxAll()
+	s := New(c, FourStep)
+	c.InjectFault(0, 1, dram.Fault{Device: 0, Scope: dram.ScopeDevice, Mode: dram.StuckAt1})
+	if s.ScrubPage(0) {
+		t.Fatal("page 0 (rank 0) reported faulty; fault is in rank 1")
+	}
+	if !s.ScrubPage(c.Pages() - 1) {
+		t.Fatal("page in faulty rank not reported")
+	}
+}
+
+func TestConventionalScrubStillCatchesActiveFaults(t *testing.T) {
+	c := newMem(t)
+	r := rand.New(rand.NewSource(4))
+	fillPage(t, c, 0, r)
+	c.InjectFault(0, 0, dram.Fault{Device: 9, Scope: dram.ScopeDevice, Mode: dram.WrongData})
+	s := New(c, Conventional)
+	if faulty := s.FullScrub(); len(faulty) == 0 {
+		t.Fatal("conventional scrub missed an active fault")
+	}
+	if s.Stats().ECCCorrections == 0 {
+		t.Fatal("ECC corrections not counted")
+	}
+}
+
+func TestScrubberAccessAccounting(t *testing.T) {
+	cFour, cConv := newMem(t), newMem(t)
+	four, conv := New(cFour, FourStep), New(cConv, Conventional)
+	four.ScrubPage(0)
+	conv.ScrubPage(0)
+	if got, want := four.Stats().MemoryAccesses, int64(6*core.LinesPerPage); got != want {
+		t.Fatalf("four-step accesses = %d, want %d", got, want)
+	}
+	if got, want := conv.Stats().MemoryAccesses, int64(2*core.LinesPerPage); got != want {
+		t.Fatalf("conventional accesses = %d, want %d", got, want)
+	}
+}
+
+func TestCostModelMatchesPaperArithmetic(t *testing.T) {
+	// §4.2.2: 4 GB on a 128-bit 667 MT/s channel: one pass = 0.4 s, a
+	// four-step scrub = 2.4 s, and at one scrub per 4 hours the bandwidth
+	// overhead is 0.0167%.
+	m := CostModel{
+		MemoryBytes:           4 * 1024 * 1024 * 1024 * 8 / 8,
+		ChannelBytesPerSecond: 667e6 * 16,
+		ScrubIntervalHours:    4,
+	}
+	if got := m.PassSeconds(); math.Abs(got-0.4024) > 0.01 {
+		t.Fatalf("pass time = %v s, want ~0.40 s", got)
+	}
+	if got := m.ScrubSeconds(FourStep); math.Abs(got-2.4) > 0.05 {
+		t.Fatalf("scrub time = %v s, want ~2.4 s", got)
+	}
+	if got := m.BandwidthOverhead(FourStep); math.Abs(got-0.000167) > 0.00001 {
+		t.Fatalf("bandwidth overhead = %v, want ~0.0167%%", got)
+	}
+	if m.ScrubSeconds(Conventional) >= m.ScrubSeconds(FourStep) {
+		t.Fatal("conventional scrub must be cheaper")
+	}
+}
+
+func TestNewPanicsOnBadAlgorithm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad algorithm did not panic")
+		}
+	}()
+	New(newMem(t), Algorithm(7))
+}
+
+func TestRepeatedScrubsStable(t *testing.T) {
+	// After the first scrub upgrades the faulty pages, later scrubs find
+	// the same faults (they are permanent) but have nothing left to
+	// upgrade.
+	c := newMem(t)
+	s := New(c, FourStep)
+	c.InjectFault(0, 0, dram.Fault{Device: 3, Scope: dram.ScopeDevice, Mode: dram.StuckAt1})
+	first := s.FullScrub()
+	upgradedAfterFirst := c.Table().Count(pagetable.Upgraded)
+	second := s.FullScrub()
+	if len(second) != len(first) {
+		t.Fatalf("permanent fault: scrub 1 found %d pages, scrub 2 found %d", len(first), len(second))
+	}
+	if got := c.Table().Count(pagetable.Upgraded); got != upgradedAfterFirst {
+		t.Fatalf("second scrub changed upgraded count %d -> %d", upgradedAfterFirst, got)
+	}
+}

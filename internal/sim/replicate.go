@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+
+	"arcc/internal/stats"
+)
+
+// Replication aggregates repeated runs of one configuration across seeds.
+type Replication struct {
+	Runs int
+	// IPC and Power aggregate the per-seed IPCSum and PowerMW results.
+	IPCMean, IPCCI95     float64
+	PowerMean, PowerCI95 float64
+}
+
+// RunReplicated executes cfg under runs different seeds (cfg.Seed+1 ..
+// cfg.Seed+runs) and reports mean and 95% confidence half-widths. The
+// experiments use it to put error bars on the headline numbers.
+func RunReplicated(cfg Config, runs int) Replication {
+	if runs < 2 {
+		panic(fmt.Sprintf("sim: RunReplicated needs at least 2 runs, got %d", runs))
+	}
+	ipcs := make([]float64, runs)
+	powers := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i) + 1
+		r := Run(c)
+		ipcs[i] = r.IPCSum
+		powers[i] = r.PowerMW
+	}
+	return Replication{
+		Runs:      runs,
+		IPCMean:   stats.Mean(ipcs),
+		IPCCI95:   stats.CI95(ipcs),
+		PowerMean: stats.Mean(powers),
+		PowerCI95: stats.CI95(powers),
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"arcc/internal/workload"
+)
+
+func TestRunReplicated(t *testing.T) {
+	cfg := shortConfig(0, ARCC)
+	r := RunReplicated(cfg, 4)
+	if r.Runs != 4 {
+		t.Fatalf("runs %d", r.Runs)
+	}
+	if r.IPCMean <= 0 || r.PowerMean <= 0 {
+		t.Fatal("means must be positive")
+	}
+	if r.IPCCI95 < 0 || r.PowerCI95 < 0 {
+		t.Fatal("confidence half-widths must be non-negative")
+	}
+	// Seeds perturb the workloads only slightly: the interval should be
+	// tight relative to the mean.
+	if r.IPCCI95 > 0.2*r.IPCMean {
+		t.Fatalf("IPC CI %v too wide vs mean %v", r.IPCCI95, r.IPCMean)
+	}
+}
+
+func TestRunReplicatedPanicsOnTooFewRuns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunReplicated(DefaultConfig(workload.Mixes()[0], ARCC), 1)
+}
+
+func TestReplaySourceReproducesStreamRun(t *testing.T) {
+	// Record each core's stream, replay the traces through the simulator,
+	// and require the identical result — the trace path is faithful.
+	cfg := shortConfig(2, ARCC)
+	direct := Run(cfg)
+
+	// Rebuild the same streams and capture generously more accesses than
+	// the run consumes.
+	replay := cfg
+	base := uint64(0)
+	for i := range replay.Sources {
+		b := cfg.Mix.Benchmarks[i]
+		s := b.NewStream(cfg.Seed+int64(i)*7919, base)
+		accesses := make([]workload.Access, 0, 200000)
+		for j := 0; j < 200000; j++ {
+			accesses = append(accesses, s.Next())
+		}
+		replay.Sources[i] = workload.NewReplaySource(accesses)
+		base += uint64(b.FootprintLines)
+		base = (base + 63) &^ 63
+	}
+	replayed := Run(replay)
+	if direct != replayed {
+		t.Fatalf("trace replay diverged:\n direct   %+v\n replayed %+v", direct, replayed)
+	}
+}

@@ -1,0 +1,309 @@
+// Package sim composes the full-system performance/power simulation used by
+// the Chapter 7 experiments: four trace-driven cores (package cpu) with
+// private LLCs (package cache) sharing a memory system (package memctrl)
+// whose per-page ECC mode follows ARCC's page table, with DDR2 power
+// accounting (package power).
+//
+// The functional data path (real codewords in simulated DRAM, package core)
+// is exercised by its own tests and the reliability experiments; this
+// simulator tracks addresses, timing, and energy only, which keeps the
+// Chapter 7 sweeps fast.
+package sim
+
+import (
+	"fmt"
+
+	"arcc/internal/cache"
+	"arcc/internal/cpu"
+	"arcc/internal/memctrl"
+	"arcc/internal/power"
+	"arcc/internal/workload"
+)
+
+// MemorySystem selects the evaluated configuration (Table 7.1).
+type MemorySystem int
+
+const (
+	// Baseline is commercial chipkill: two channels, one 36-device x4
+	// rank each; every access touches 36 devices.
+	Baseline MemorySystem = iota
+	// ARCC is the adaptive configuration: two channels, two 18-device x8
+	// ranks each; relaxed accesses touch 18 devices, upgraded accesses
+	// pair both channels (36 devices).
+	ARCC
+)
+
+// String implements fmt.Stringer.
+func (m MemorySystem) String() string {
+	if m == Baseline {
+		return "baseline"
+	}
+	return "arcc"
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Mix    workload.Mix
+	System MemorySystem
+	// UpgradedFraction is the fraction of pages in upgraded mode (0 for a
+	// fault-free memory; Table 7.4 fractions for the Fig 7.2/7.3 fault
+	// scenarios). Ignored for the Baseline system.
+	UpgradedFraction float64
+	// InstructionsPerCore ends the run once every core commits this many.
+	InstructionsPerCore int64
+	// Seed drives all randomness (workload streams, page-mode placement).
+	Seed int64
+	// LLCBytes / LLCAssoc shape each core's private LLC (Table 7.2: 1 MB,
+	// 16-way).
+	LLCBytes, LLCAssoc int
+	// LLCPolicy selects the replacement policy for upgraded pairs
+	// (§4.2.3). The zero value is the paper's shared-recency design.
+	LLCPolicy cache.Policy
+	// Pairing selects the §4.2.4 sub-line pairing design. The zero value
+	// is pointer promotion.
+	Pairing memctrl.Pairing
+	// CPUCyclesPerDRAMCycle converts between clock domains (3 GHz core vs
+	// 333 MHz DDR2 clock = 9).
+	CPUCyclesPerDRAMCycle int64
+	// Sources, when non-nil, overrides the synthetic generators with
+	// caller-provided access sources (e.g. recorded traces replayed with
+	// workload.NewReplaySource). Entries left nil fall back to the mix's
+	// generator for that core.
+	Sources [4]workload.Source
+}
+
+// DefaultConfig returns the Table 7.1/7.2 configuration for a mix.
+func DefaultConfig(mix workload.Mix, system MemorySystem) Config {
+	return Config{
+		Mix:                   mix,
+		System:                system,
+		InstructionsPerCore:   1_000_000,
+		Seed:                  1,
+		LLCBytes:              1 << 20,
+		LLCAssoc:              16,
+		CPUCyclesPerDRAMCycle: 9,
+	}
+}
+
+// Result summarises one run.
+type Result struct {
+	// IPCSum is the sum of per-core IPCs — the paper's performance metric.
+	IPCSum     float64
+	PerCoreIPC [4]float64
+	// PowerMW is the average DRAM power over the run.
+	PowerMW float64
+	// ElapsedDRAMCycles is the run length in DRAM cycles (slowest core).
+	ElapsedDRAMCycles int64
+	// MemReads/MemWrites are line transfers performed by the controller.
+	MemReads, MemWrites int64
+	// LLCHitRate aggregates all cores' LLCs.
+	LLCHitRate float64
+	// UpgradedAccessFraction is the fraction of demand fetches served in
+	// upgraded (paired) mode.
+	UpgradedAccessFraction float64
+}
+
+// pageOf maps a line address to its 4 KB page.
+func pageOf(line uint64) uint64 { return line >> 6 }
+
+// withRefresh adds DDR2 auto-refresh timing (tREFI 7.8 us, tRFC 105 ns at
+// 333 MHz) to a timing set.
+func withRefresh(t memctrl.Timing) memctrl.Timing {
+	t.TREFI = 2600
+	t.TRFC = 35
+	return t
+}
+
+// Run executes one simulation.
+func Run(cfg Config) Result {
+	if cfg.InstructionsPerCore <= 0 || cfg.LLCBytes <= 0 || cfg.LLCAssoc <= 0 || cfg.CPUCyclesPerDRAMCycle <= 0 {
+		panic(fmt.Sprintf("sim: invalid config %+v", cfg))
+	}
+	if cfg.UpgradedFraction < 0 || cfg.UpgradedFraction > 1 {
+		panic(fmt.Sprintf("sim: upgraded fraction %v out of range", cfg.UpgradedFraction))
+	}
+
+	var meter *power.Meter
+	var mem *memctrl.Controller
+	switch cfg.System {
+	case Baseline:
+		meter = power.NewMeter(power.Micron512MbX4())
+		mem = memctrl.New(memctrl.Config{
+			Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+			Timing: withRefresh(memctrl.DDR2X4Timing()), DevicesPerAccess: 36, BurstBeats: 4,
+		}, meter)
+	case ARCC:
+		meter = power.NewMeter(power.Micron512MbX8())
+		mem = memctrl.New(memctrl.Config{
+			Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
+			Timing: withRefresh(memctrl.DDR2X8Timing()), DevicesPerAccess: 18, BurstBeats: 4,
+			Pairing: cfg.Pairing,
+		}, meter)
+	default:
+		panic(fmt.Sprintf("sim: unknown system %d", cfg.System))
+	}
+
+	// Page-mode oracle: a page is upgraded if a seeded hash of its number
+	// falls under the target fraction. Deterministic, O(1), and spreads
+	// upgraded pages uniformly — which matches the Fig 7.2 scenarios where
+	// a fault's pages are interleaved through every workload's footprint.
+	threshold := uint64(cfg.UpgradedFraction * float64(1<<32))
+	upgraded := func(page uint64) bool {
+		if cfg.System != ARCC || threshold == 0 {
+			return false
+		}
+		h := (page ^ uint64(cfg.Seed)<<40) * 0x9E3779B97F4A7C15
+		h ^= h >> 33
+		h *= 0xC2B2AE3D27D4EB4F
+		h ^= h >> 29
+		return h&0xFFFFFFFF < threshold
+	}
+
+	type coreState struct {
+		core   *cpu.Core
+		llc    *cache.LLC
+		stream workload.Source
+		done   bool
+	}
+	states := make([]*coreState, 4)
+	base := uint64(0)
+	for i := range states {
+		b := cfg.Mix.Benchmarks[i]
+		var src workload.Source = b.NewStream(cfg.Seed+int64(i)*7919, base)
+		if cfg.Sources[i] != nil {
+			src = cfg.Sources[i]
+		}
+		states[i] = &coreState{
+			core:   cpu.New(cpu.DefaultConfig()),
+			llc:    cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy),
+			stream: src,
+		}
+		base += uint64(b.FootprintLines)
+		// Page-align region starts so pairs never straddle benchmarks.
+		base = (base + 63) &^ 63
+	}
+
+	ranksBanks := mem.Config().RanksPerChannel * mem.Config().BanksPerRank
+	cpr := cfg.CPUCyclesPerDRAMCycle
+
+	// mapLine computes the (channel, globalBank) of a 64 B line.
+	mapLine := func(line uint64) (ch, bank int) {
+		ch = int(line & 1)
+		bank = int((line >> 1) % uint64(ranksBanks))
+		return ch, bank
+	}
+
+	var demandFetches, upgradedFetches int64
+
+	// fetch books the memory traffic for a demand miss and returns its
+	// completion time in CPU cycles.
+	fetch := func(nowCPU int64, line uint64, isUpgraded bool) int64 {
+		nowDRAM := nowCPU / cpr
+		ch, bank := mapLine(line)
+		var doneDRAM int64
+		if isUpgraded {
+			doneDRAM = mem.AccessPaired(nowDRAM, bank, false)
+		} else {
+			doneDRAM = mem.Access(nowDRAM, ch, bank, false)
+		}
+		return doneDRAM * cpr
+	}
+
+	// writeback books eviction traffic (non-blocking for the core).
+	writeback := func(nowCPU int64, evs []cache.Eviction) {
+		nowDRAM := nowCPU / cpr
+		handled := map[uint64]bool{}
+		for _, e := range evs {
+			if !e.Dirty || handled[e.Addr] {
+				continue
+			}
+			if e.Upgraded {
+				_, bank := mapLine(e.Addr)
+				mem.AccessPaired(nowDRAM, bank, true)
+				handled[e.Addr] = true
+				handled[e.PairedWith] = true
+			} else {
+				ch, bank := mapLine(e.Addr)
+				mem.Access(nowDRAM, ch, bank, true)
+				handled[e.Addr] = true
+			}
+		}
+	}
+
+	// Event loop: always advance the core that is furthest behind, so the
+	// shared memory controller sees requests in (approximate) time order.
+	for {
+		var next *coreState
+		for _, s := range states {
+			if s.done {
+				continue
+			}
+			if next == nil || s.core.Now() < next.core.Now() {
+				next = s
+			}
+		}
+		if next == nil {
+			break
+		}
+		s := next
+		a := s.stream.Next()
+		s.core.AdvanceCompute(a.Gap)
+		if s.core.Instructions() >= cfg.InstructionsPerCore {
+			s.core.Drain()
+			s.done = true
+			continue
+		}
+		if s.llc.Access(a.Line, a.Write) {
+			s.core.NoteHit()
+			continue
+		}
+		isUp := upgraded(pageOf(a.Line))
+		evs := s.llc.Insert(a.Line, isUp, a.Write)
+		writeback(s.core.Now(), evs)
+		demandFetches++
+		if isUp {
+			upgradedFetches++
+		}
+		line := a.Line
+		if a.Write {
+			// Write-allocate: the fill occupies memory but the store
+			// itself retires through the store buffer without stalling.
+			fetch(s.core.Now(), line, isUp)
+			continue
+		}
+		s.core.IssueMiss(func(now int64) int64 { return fetch(now, line, isUp) })
+	}
+
+	// Aggregate.
+	var res Result
+	var slowest int64
+	var hits, misses int64
+	for i, s := range states {
+		res.PerCoreIPC[i] = float64(cfg.InstructionsPerCore) / float64(s.core.Now())
+		res.IPCSum += res.PerCoreIPC[i]
+		if s.core.Now() > slowest {
+			slowest = s.core.Now()
+		}
+		h, m, _, _ := s.llc.Stats()
+		hits += h
+		misses += m
+	}
+	res.ElapsedDRAMCycles = slowest / cpr
+	if last := mem.LastCompletion(); last > res.ElapsedDRAMCycles {
+		res.ElapsedDRAMCycles = last
+	}
+	res.MemReads, res.MemWrites = mem.Stats()
+	if hits+misses > 0 {
+		res.LLCHitRate = float64(hits) / float64(hits+misses)
+	}
+	if demandFetches > 0 {
+		res.UpgradedAccessFraction = float64(upgradedFetches) / float64(demandFetches)
+	}
+
+	const nsPerDRAMCycle = 3.0
+	const totalDevices = 72
+	elapsedNS := float64(res.ElapsedDRAMCycles) * nsPerDRAMCycle
+	active := mem.BankUtilization(res.ElapsedDRAMCycles)
+	res.PowerMW = meter.AveragePowerMW(elapsedNS, totalDevices, active, 0.9)
+	return res
+}

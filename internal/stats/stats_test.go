@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean([]float64{5}) != 5 {
+		t.Fatal("singleton mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	// Geometric mean of ratios is inversion-symmetric.
+	xs := []float64{0.5, 2, 1.25, 0.8}
+	inv := make([]float64, len(xs))
+	for i, x := range xs {
+		inv[i] = 1 / x
+	}
+	if math.Abs(GeoMean(xs)*GeoMean(inv)-1) > 1e-12 {
+		t.Fatal("geomean not inversion-symmetric")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Known sample: variance = 32/7.
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := make([]float64, 20)
+	large := make([]float64, 2000)
+	for i := range large {
+		v := rng.NormFloat64()
+		if i < len(small) {
+			small[i] = v
+		}
+		large[i] = v
+	}
+	if CI95(large) >= CI95(small) {
+		t.Fatal("more samples must tighten the interval")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4}, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Normalize = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Exclude magnitudes whose sum could overflow float64.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e300 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := MinMax(xs)
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mean empty":     func() { Mean(nil) },
+		"geomean empty":  func() { GeoMean(nil) },
+		"geomean nonpos": func() { GeoMean([]float64{1, 0}) },
+		"stddev one":     func() { StdDev([]float64{1}) },
+		"norm zero":      func() { Normalize([]float64{1}, 0) },
+		"minmax empty":   func() { MinMax(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

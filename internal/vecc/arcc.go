@@ -1,0 +1,88 @@
+package vecc
+
+import (
+	"fmt"
+
+	"arcc/internal/rs"
+)
+
+// This file implements the §5.2 application of ARCC to VECC: fault-free
+// pages drop from the 18-device VECC layout to a NINE-device layout — eight
+// data devices plus one redundant device holding a single detection check
+// symbol, with one correction check symbol virtualized into another rank.
+// Faulty pages upgrade back to the full 18-device VECC (package-level
+// Scheme), doubling both tiers' check symbols.
+
+// RelaxedDataSymbols is the data symbol count of the 9-device codeword.
+const RelaxedDataSymbols = 8
+
+// RelaxedScheme is the 9-device VECC codec: RS(10, 8) with one rank-resident
+// T1 symbol and one virtualized T2 symbol.
+type RelaxedScheme struct {
+	full *rs.Code // (10, 8)
+}
+
+// NewRelaxed constructs the 9-device codec.
+func NewRelaxed() *RelaxedScheme {
+	return &RelaxedScheme{full: rs.New(RelaxedDataSymbols+2, RelaxedDataSymbols)}
+}
+
+// Encode produces the rank-resident part (8 data + 1 T1 check, 9 symbols)
+// and the single virtualized T2 symbol.
+func (s *RelaxedScheme) Encode(data []byte) (rankPart, t2Part []byte) {
+	if len(data) != RelaxedDataSymbols {
+		panic(fmt.Sprintf("vecc: relaxed Encode with %d symbols, want %d", len(data), RelaxedDataSymbols))
+	}
+	cw := s.full.Encode(data)
+	rankPart = make([]byte, RelaxedDataSymbols+1)
+	copy(rankPart, cw[:RelaxedDataSymbols+1])
+	t2Part = []byte{cw[RelaxedDataSymbols+1]}
+	return rankPart, t2Part
+}
+
+// CheckT1 verifies the rank-resident symbols with the single detection
+// check symbol: any one bad symbol is guaranteed to be flagged.
+func (s *RelaxedScheme) CheckT1(rankPart []byte) bool {
+	if len(rankPart) != RelaxedDataSymbols+1 {
+		panic(fmt.Sprintf("vecc: relaxed CheckT1 with %d symbols, want %d", len(rankPart), RelaxedDataSymbols+1))
+	}
+	cw := s.full.Encode(rankPart[:RelaxedDataSymbols])
+	return cw[RelaxedDataSymbols] == rankPart[RelaxedDataSymbols]
+}
+
+// Decode corrects using both tiers (two check symbols total): one bad
+// symbol is corrected; patterns beyond that return ErrDetected.
+func (s *RelaxedScheme) Decode(rankPart, t2Part []byte) ([]byte, error) {
+	if len(rankPart) != RelaxedDataSymbols+1 || len(t2Part) != 1 {
+		panic("vecc: relaxed Decode with wrong part sizes")
+	}
+	cw := make([]byte, s.full.N())
+	copy(cw, rankPart)
+	cw[RelaxedDataSymbols+1] = t2Part[0]
+	res, err := s.full.DecodeBounded(cw, 1)
+	if err != nil {
+		return nil, ErrDetected
+	}
+	return res.Corrected[:RelaxedDataSymbols], nil
+}
+
+// ARCCCost compares the access cost of the two VECC modes: the relaxed
+// 9-device layout against the upgraded 18-device layout, for a given T2EC
+// LLC hit rate. Power scales with devices per access exactly as in the main
+// ARCC evaluation.
+type ARCCCost struct {
+	RelaxedDevicesPerRead  int
+	UpgradedDevicesPerRead int
+	// UpgradedPowerFactor is the worst-case power multiple of an upgraded
+	// access over a relaxed one (2x the devices).
+	UpgradedPowerFactor float64
+}
+
+// CostOfARCC returns the §5.2 cost comparison.
+func CostOfARCC() ARCCCost {
+	return ARCCCost{
+		RelaxedDevicesPerRead:  9,
+		UpgradedDevicesPerRead: 18,
+		UpgradedPowerFactor:    2,
+	}
+}

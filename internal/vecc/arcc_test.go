@@ -1,0 +1,124 @@
+package vecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRelaxedEncodeShapes(t *testing.T) {
+	s := NewRelaxed()
+	rank, t2 := s.Encode(make([]byte, RelaxedDataSymbols))
+	if len(rank) != 9 || len(t2) != 1 {
+		t.Fatalf("parts %d/%d, want 9/1", len(rank), len(t2))
+	}
+}
+
+func TestRelaxedCleanT1(t *testing.T) {
+	s := NewRelaxed()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		data := make([]byte, RelaxedDataSymbols)
+		r.Read(data)
+		rank, _ := s.Encode(data)
+		if !s.CheckT1(rank) {
+			t.Fatal("clean relaxed rank part failed T1")
+		}
+	}
+}
+
+func TestRelaxedT1DetectsEverySingleBadSymbol(t *testing.T) {
+	s := NewRelaxed()
+	r := rand.New(rand.NewSource(2))
+	data := make([]byte, RelaxedDataSymbols)
+	r.Read(data)
+	rank, _ := s.Encode(data)
+	for pos := 0; pos < len(rank); pos++ {
+		for _, delta := range []byte{1, 0xFF, 0x80} {
+			bad := make([]byte, len(rank))
+			copy(bad, rank)
+			bad[pos] ^= delta
+			if s.CheckT1(bad) {
+				t.Fatalf("T1 missed bad symbol at %d delta %#x", pos, delta)
+			}
+		}
+	}
+}
+
+func TestRelaxedDecodeCorrectsSingleBadSymbol(t *testing.T) {
+	s := NewRelaxed()
+	r := rand.New(rand.NewSource(3))
+	data := make([]byte, RelaxedDataSymbols)
+	r.Read(data)
+	rank, t2 := s.Encode(data)
+	for pos := 0; pos < len(rank); pos++ {
+		bad := make([]byte, len(rank))
+		copy(bad, rank)
+		bad[pos] ^= byte(1 + r.Intn(255))
+		got, err := s.Decode(bad, t2)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pos %d: wrong correction", pos)
+		}
+	}
+}
+
+func TestRelaxedDoubleBadSymbolNotSilentlyOriginal(t *testing.T) {
+	// Two bad symbols exceed the 2-check relaxed code: they are either
+	// detected or miscorrect — never returned as the original data.
+	s := NewRelaxed()
+	r := rand.New(rand.NewSource(4))
+	data := make([]byte, RelaxedDataSymbols)
+	r.Read(data)
+	rank, t2 := s.Encode(data)
+	var detected int
+	for trial := 0; trial < 500; trial++ {
+		bad := make([]byte, len(rank))
+		copy(bad, rank)
+		perm := r.Perm(len(rank))[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		got, err := s.Decode(bad, t2)
+		if err != nil {
+			detected++
+			continue
+		}
+		if bytes.Equal(got, data) {
+			t.Fatalf("trial %d: double error decoded to original data", trial)
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no double errors detected at all")
+	}
+}
+
+func TestCostOfARCC(t *testing.T) {
+	c := CostOfARCC()
+	if c.RelaxedDevicesPerRead != 9 || c.UpgradedDevicesPerRead != 18 {
+		t.Fatalf("cost %+v", c)
+	}
+	if c.UpgradedPowerFactor != 2 {
+		t.Fatal("upgraded factor must be 2 (twice the devices)")
+	}
+}
+
+func TestRelaxedPanics(t *testing.T) {
+	s := NewRelaxed()
+	for name, f := range map[string]func(){
+		"encode":  func() { s.Encode(make([]byte, 16)) },
+		"checkt1": func() { s.CheckT1(make([]byte, 10)) },
+		"decode":  func() { s.Decode(make([]byte, 9), make([]byte, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

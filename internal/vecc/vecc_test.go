@@ -1,0 +1,141 @@
+package vecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randData(r *rand.Rand) []byte {
+	b := make([]byte, DataSymbols)
+	r.Read(b)
+	return b
+}
+
+func TestEncodeShapes(t *testing.T) {
+	s := New()
+	rank, t2 := s.Encode(make([]byte, DataSymbols))
+	if len(rank) != 18 || len(t2) != 2 {
+		t.Fatalf("parts %d/%d, want 18/2", len(rank), len(t2))
+	}
+}
+
+func TestCleanReadNeedsOnlyT1(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		rank, _ := s.Encode(randData(r))
+		if !s.CheckT1(rank) {
+			t.Fatal("clean rank part failed T1 check")
+		}
+	}
+}
+
+func TestT1DetectsSingleBadSymbolEverywhere(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(2))
+	rank, _ := s.Encode(randData(r))
+	for pos := 0; pos < len(rank); pos++ {
+		bad := make([]byte, len(rank))
+		copy(bad, rank)
+		bad[pos] ^= byte(1 + r.Intn(255))
+		if s.CheckT1(bad) {
+			t.Fatalf("T1 missed a bad symbol at position %d", pos)
+		}
+	}
+}
+
+func TestFullDecodeCorrectsSingleBadSymbol(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(3))
+	data := randData(r)
+	rank, t2 := s.Encode(data)
+	for pos := 0; pos < len(rank); pos++ {
+		bad := make([]byte, len(rank))
+		copy(bad, rank)
+		bad[pos] ^= byte(1 + r.Intn(255))
+		got, err := s.Decode(bad, t2)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pos %d: wrong correction", pos)
+		}
+	}
+}
+
+func TestFullDecodeCorrectsBadT2Symbol(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(4))
+	data := randData(r)
+	rank, t2 := s.Encode(data)
+	badT2 := []byte{t2[0] ^ 0x42, t2[1]}
+	got, err := s.Decode(rank, badT2)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("bad T2 symbol not corrected: %v", err)
+	}
+}
+
+func TestDoubleBadSymbolDetected(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(5))
+	data := randData(r)
+	rank, t2 := s.Encode(data)
+	for trial := 0; trial < 500; trial++ {
+		bad := make([]byte, len(rank))
+		copy(bad, rank)
+		perm := r.Perm(len(rank))[:2]
+		for _, p := range perm {
+			bad[p] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := s.Decode(bad, t2); err != ErrDetected {
+			t.Fatalf("trial %d: double error err=%v, want detected", trial, err)
+		}
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	c := Cost(0.6)
+	if c.DevicesPerRead != 18 || c.ErrorReadFactor != 2 {
+		t.Fatalf("cost %+v", c)
+	}
+	if got := c.WriteAccesses(); got != 1.4 {
+		t.Fatalf("WriteAccesses = %v, want 1.4 at 60%% T2EC hit rate", got)
+	}
+	if Cost(1).WriteAccesses() != 1 {
+		t.Fatal("perfect T2EC caching must cost exactly one access per write")
+	}
+}
+
+func TestCostPanicsOnBadHitRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Cost(1.5)
+}
+
+func TestPanicsOnWrongSizes(t *testing.T) {
+	s := New()
+	for name, f := range map[string]func(){
+		"encode":  func() { s.Encode(make([]byte, 8)) },
+		"checkt1": func() { s.CheckT1(make([]byte, 20)) },
+		"decode":  func() { s.Decode(make([]byte, 18), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStorageOverheadAboveCommercial(t *testing.T) {
+	if got := StorageOverhead(); got <= 0.125 {
+		t.Fatalf("VECC overhead %v should exceed commercial 12.5%%", got)
+	}
+}

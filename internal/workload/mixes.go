@@ -1,0 +1,87 @@
+package workload
+
+import "fmt"
+
+// spec returns the benchmark parameter table. Values are calibrated to the
+// published memory behaviour of each benchmark: APKI approximates L2-access
+// intensity, spatial locality separates streaming array codes from
+// pointer-chasing codes, and footprints separate cache-resident from
+// memory-resident working sets.
+var spec = map[string]Benchmark{
+	// Streaming, memory-intensive.
+	"swim":       {Name: "swim", APKI: 28, SpatialLocality: 0.85, WriteFraction: 0.35, FootprintLines: 1 << 19, HotFraction: 0.05, HotWeight: 0.2},
+	"lbm":        {Name: "lbm", APKI: 32, SpatialLocality: 0.88, WriteFraction: 0.45, FootprintLines: 1 << 19, HotFraction: 0.05, HotWeight: 0.1},
+	"libquantum": {Name: "libquantum", APKI: 26, SpatialLocality: 0.92, WriteFraction: 0.25, FootprintLines: 1 << 18, HotFraction: 0.02, HotWeight: 0.05},
+	"leslie3d":   {Name: "leslie3d", APKI: 21, SpatialLocality: 0.80, WriteFraction: 0.30, FootprintLines: 1 << 18, HotFraction: 0.05, HotWeight: 0.2},
+	"GemsFDTD":   {Name: "GemsFDTD", APKI: 24, SpatialLocality: 0.75, WriteFraction: 0.30, FootprintLines: 1 << 19, HotFraction: 0.05, HotWeight: 0.2},
+	"milc":       {Name: "milc", APKI: 23, SpatialLocality: 0.70, WriteFraction: 0.35, FootprintLines: 1 << 19, HotFraction: 0.05, HotWeight: 0.2},
+	"lucas":      {Name: "lucas", APKI: 16, SpatialLocality: 0.65, WriteFraction: 0.20, FootprintLines: 1 << 18, HotFraction: 0.05, HotWeight: 0.3},
+	"mgrid":      {Name: "mgrid", APKI: 17, SpatialLocality: 0.78, WriteFraction: 0.25, FootprintLines: 1 << 18, HotFraction: 0.05, HotWeight: 0.3},
+	"applu":      {Name: "applu", APKI: 15, SpatialLocality: 0.72, WriteFraction: 0.30, FootprintLines: 1 << 18, HotFraction: 0.05, HotWeight: 0.3},
+	"art110":     {Name: "art110", APKI: 30, SpatialLocality: 0.55, WriteFraction: 0.20, FootprintLines: 1 << 16, HotFraction: 0.2, HotWeight: 0.5},
+
+	// Pointer-chasing / irregular, memory-intensive.
+	"mcf2006": {Name: "mcf2006", APKI: 35, SpatialLocality: 0.15, WriteFraction: 0.25, FootprintLines: 1 << 20, HotFraction: 0.1, HotWeight: 0.4},
+	"omnetpp": {Name: "omnetpp", APKI: 18, SpatialLocality: 0.20, WriteFraction: 0.35, FootprintLines: 1 << 19, HotFraction: 0.1, HotWeight: 0.5},
+	"astar":   {Name: "astar", APKI: 12, SpatialLocality: 0.25, WriteFraction: 0.25, FootprintLines: 1 << 18, HotFraction: 0.1, HotWeight: 0.5},
+	"soplex":  {Name: "soplex", APKI: 20, SpatialLocality: 0.45, WriteFraction: 0.25, FootprintLines: 1 << 19, HotFraction: 0.1, HotWeight: 0.4},
+	"sphinx3": {Name: "sphinx3", APKI: 19, SpatialLocality: 0.50, WriteFraction: 0.15, FootprintLines: 1 << 18, HotFraction: 0.1, HotWeight: 0.4},
+
+	// Moderate.
+	"fma3d":   {Name: "fma3d", APKI: 9, SpatialLocality: 0.60, WriteFraction: 0.30, FootprintLines: 1 << 17, HotFraction: 0.1, HotWeight: 0.5},
+	"apsi":    {Name: "apsi", APKI: 10, SpatialLocality: 0.55, WriteFraction: 0.30, FootprintLines: 1 << 17, HotFraction: 0.1, HotWeight: 0.5},
+	"facerec": {Name: "facerec", APKI: 11, SpatialLocality: 0.65, WriteFraction: 0.20, FootprintLines: 1 << 17, HotFraction: 0.1, HotWeight: 0.5},
+	"ammp":    {Name: "ammp", APKI: 8, SpatialLocality: 0.40, WriteFraction: 0.25, FootprintLines: 1 << 17, HotFraction: 0.15, HotWeight: 0.6},
+	"wupwise": {Name: "wupwise", APKI: 7, SpatialLocality: 0.60, WriteFraction: 0.25, FootprintLines: 1 << 16, HotFraction: 0.15, HotWeight: 0.6},
+	"gromacs": {Name: "gromacs", APKI: 5, SpatialLocality: 0.55, WriteFraction: 0.30, FootprintLines: 1 << 16, HotFraction: 0.2, HotWeight: 0.6},
+
+	// Cache-friendly, compute-bound.
+	"mesa":     {Name: "mesa", APKI: 3, SpatialLocality: 0.60, WriteFraction: 0.30, FootprintLines: 1 << 15, HotFraction: 0.25, HotWeight: 0.7},
+	"calculix": {Name: "calculix", APKI: 2, SpatialLocality: 0.55, WriteFraction: 0.25, FootprintLines: 1 << 15, HotFraction: 0.25, HotWeight: 0.7},
+	"sjeng":    {Name: "sjeng", APKI: 2.5, SpatialLocality: 0.30, WriteFraction: 0.25, FootprintLines: 1 << 16, HotFraction: 0.2, HotWeight: 0.7},
+	"h264ref":  {Name: "h264ref", APKI: 2, SpatialLocality: 0.70, WriteFraction: 0.30, FootprintLines: 1 << 15, HotFraction: 0.25, HotWeight: 0.7},
+}
+
+// Mix is one multiprogrammed workload: four benchmarks, one per core.
+type Mix struct {
+	Name       string
+	Benchmarks [4]Benchmark
+}
+
+// mixTable reproduces Table 7.3 (the thesis' "fma3di" is the fma3d entry).
+var mixTable = [12][4]string{
+	{"mesa", "leslie3d", "GemsFDTD", "fma3d"},
+	{"omnetpp", "soplex", "apsi", "mesa"},
+	{"sphinx3", "calculix", "omnetpp", "wupwise"},
+	{"lucas", "gromacs", "swim", "fma3d"},
+	{"mesa", "swim", "apsi", "sphinx3"},
+	{"sjeng", "swim", "facerec", "ammp"},
+	{"milc", "GemsFDTD", "leslie3d", "omnetpp"},
+	{"facerec", "leslie3d", "ammp", "mgrid"},
+	{"applu", "soplex", "mcf2006", "GemsFDTD"},
+	{"mcf2006", "libquantum", "omnetpp", "astar"},
+	{"calculix", "swim", "art110", "omnetpp"},
+	{"lbm", "facerec", "h264ref", "ammp"},
+}
+
+// ByName returns the benchmark with the given SPEC name.
+func ByName(name string) Benchmark {
+	b, ok := spec[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown benchmark %q", name))
+	}
+	return b
+}
+
+// Mixes returns the 12 workload mixes of Table 7.3.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixTable))
+	for i, names := range mixTable {
+		m := Mix{Name: fmt.Sprintf("Mix%d", i+1)}
+		for j, n := range names {
+			m.Benchmarks[j] = ByName(n)
+		}
+		out[i] = m
+	}
+	return out
+}

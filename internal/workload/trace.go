@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay: a compact binary format for memory access
+// streams, so that interesting workloads (including ones captured from
+// other tools) can be replayed deterministically through the simulator
+// instead of being regenerated.
+//
+// Format: an 8-byte header ("ARCCTRC1"), then one record per access:
+//
+//	uint64 line address
+//	uint32 gap (instructions since the previous access)
+//	uint8  flags (bit 0: write)
+//
+// all little-endian.
+
+var traceMagic = [8]byte{'A', 'R', 'C', 'C', 'T', 'R', 'C', '1'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// TraceWriter streams accesses into an io.Writer.
+type TraceWriter struct {
+	w     *bufio.Writer
+	count int64
+}
+
+// NewTraceWriter writes the header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one access.
+func (t *TraceWriter) Write(a Access) error {
+	var rec [13]byte
+	binary.LittleEndian.PutUint64(rec[0:8], a.Line)
+	if a.Gap < 0 || int64(a.Gap) > int64(^uint32(0)) {
+		return fmt.Errorf("workload: gap %d does not fit the trace format", a.Gap)
+	}
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(a.Gap))
+	if a.Write {
+		rec[12] = 1
+	}
+	if _, err := t.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("workload: writing trace record: %w", err)
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *TraceWriter) Count() int64 { return t.count }
+
+// Flush drains buffered records to the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// TraceReader replays accesses from an io.Reader.
+type TraceReader struct {
+	r     *bufio.Reader
+	count int64
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, ErrBadTrace
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Next returns the next access, or io.EOF at the end of the trace.
+func (t *TraceReader) Next() (Access, error) {
+	var rec [13]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Access{}, io.EOF
+		}
+		return Access{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
+	}
+	t.count++
+	return Access{
+		Line:  binary.LittleEndian.Uint64(rec[0:8]),
+		Gap:   int(binary.LittleEndian.Uint32(rec[8:12])),
+		Write: rec[12]&1 != 0,
+	}, nil
+}
+
+// Count returns the number of records read so far.
+func (t *TraceReader) Count() int64 { return t.count }
+
+// Record captures n accesses from a stream into w.
+func Record(w io.Writer, s *Stream, n int) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Write(s.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := ByName("swim").NewStream(1, 1000)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := Record(&buf, s, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying must reproduce the identical access sequence.
+	ref := ByName("swim").NewStream(1, 1000)
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want := ref.Next(); got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if tr.Count() != n {
+		t.Fatalf("count %d, want %d", tr.Count(), n)
+	}
+}
+
+func TestTraceReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTraceReaderRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Access{Line: 1, Gap: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record in half.
+	data := buf.Bytes()[:buf.Len()-5]
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestTraceWriterCountsAndFlags(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := []Access{
+		{Line: 42, Gap: 7, Write: true},
+		{Line: 1 << 40, Gap: 1, Write: false},
+	}
+	for _, a := range accesses {
+		if err := tw.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Count() != 2 {
+		t.Fatalf("count %d", tw.Count())
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range accesses {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestTraceWriterRejectsOversizeGap(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Access{Gap: 1 << 40}); err == nil {
+		t.Fatal("oversize gap accepted")
+	}
+}
+
+func TestReplaySourceWrapsAndReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	s := ByName("mesa").NewStream(9, 0)
+	if err := Record(&buf, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	accesses, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accesses) != 10 {
+		t.Fatalf("ReadAll returned %d accesses", len(accesses))
+	}
+	rs := NewReplaySource(accesses)
+	if rs.Len() != 10 || rs.Wrapped() {
+		t.Fatal("fresh replay source state wrong")
+	}
+	for i := 0; i < 10; i++ {
+		if got := rs.Next(); got != accesses[i] {
+			t.Fatalf("replay %d diverged", i)
+		}
+	}
+	if !rs.Wrapped() {
+		t.Fatal("source should report wrap after consuming the trace")
+	}
+	if got := rs.Next(); got != accesses[0] {
+		t.Fatal("wrap did not restart the trace")
+	}
+}
+
+func TestNewReplaySourcePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReplaySource(nil)
+}
