@@ -4,11 +4,16 @@
 // Usage:
 //
 //	arcc-experiments [-exhibit all|t7.1|t7.2|t7.3|t7.4|f3.1|f6.1|f7.1|f7.2|f7.3|f7.4|f7.5|f7.6]
-//	                 [-quick] [-seed N]
+//	                 [-quick] [-seed N] [-parallel N] [-trials N] [-progress]
 //
 // Without flags it reproduces everything at paper scale (10 000 Monte Carlo
 // channels, 1 M instructions per core), which takes a few minutes; -quick
-// cuts the volume for a fast look.
+// cuts the volume for a fast look. The Monte Carlo sweeps and per-mix
+// simulator runs fan out across the sharded engine (internal/mc):
+// -parallel sets the worker count (0 = all CPUs, 1 = serial) without
+// changing any number — output is bit-identical at any parallelism for a
+// given seed. -trials overrides the Monte Carlo channel count, and
+// -progress reports completion counts on stderr as each exhibit computes.
 package main
 
 import (
@@ -18,16 +23,30 @@ import (
 	"strings"
 
 	"arcc/internal/experiments"
+	"arcc/internal/mc"
 )
 
 func main() {
 	exhibit := flag.String("exhibit", "all", "which exhibit to regenerate (all, t7.1..t7.4, f3.1, f6.1, f7.1..f7.6, due, ablations)")
 	quick := flag.Bool("quick", false, "reduced simulation volume")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "Monte Carlo / simulation workers (0 = all CPUs, 1 = serial)")
+	trials := flag.Int("trials", 0, "override the Monte Carlo channel count (0 = profile default)")
+	progress := flag.Bool("progress", false, "report per-exhibit progress on stderr")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Seed: *seed}
 	w := os.Stdout
+	// opts builds per-exhibit options so each exhibit gets its own
+	// progress line state.
+	opts := func(key string) experiments.Options {
+		o := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
+		if *progress {
+			// One exhibit runs several engine jobs back to back (per rate
+			// factor, per sweep); the printer resets itself at each job.
+			o.Progress = mc.NewProgressPrinter(os.Stderr, key)
+		}
+		return o
+	}
 
 	type runner struct {
 		key string
@@ -38,21 +57,21 @@ func main() {
 		{"t7.2", func() { experiments.FprintTable72(w) }},
 		{"t7.3", func() { experiments.FprintTable73(w) }},
 		{"t7.4", func() { experiments.FprintTable74(w) }},
-		{"f3.1", func() { experiments.Fig31(o).Fprint(w) }},
-		{"f6.1", func() { experiments.Fig61(o).Fprint(w) }},
-		{"f7.1", func() { experiments.Fig71(o).Fprint(w) }},
-		{"f7.2", func() { experiments.Fig72(o).Fprint(w) }},
-		{"f7.3", func() { experiments.Fig73(o).Fprint(w) }},
-		{"f7.4", func() { experiments.Fig74(o).Fprint(w) }},
-		{"f7.5", func() { experiments.Fig75(o).Fprint(w) }},
-		{"f7.6", func() { experiments.Fig76(o).Fprint(w) }},
+		{"f3.1", func() { experiments.Fig31(opts("f3.1")).Fprint(w) }},
+		{"f6.1", func() { experiments.Fig61(opts("f6.1")).Fprint(w) }},
+		{"f7.1", func() { experiments.Fig71(opts("f7.1")).Fprint(w) }},
+		{"f7.2", func() { experiments.Fig72(opts("f7.2")).Fprint(w) }},
+		{"f7.3", func() { experiments.Fig73(opts("f7.3")).Fprint(w) }},
+		{"f7.4", func() { experiments.Fig74(opts("f7.4")).Fprint(w) }},
+		{"f7.5", func() { experiments.Fig75(opts("f7.5")).Fprint(w) }},
+		{"f7.6", func() { experiments.Fig76(opts("f7.6")).Fprint(w) }},
 		{"due", func() { experiments.DUEAnalysis().Fprint(w) }},
 		{"ablations", func() {
 			experiments.FprintAblationScrub(w)
 			fmt.Fprintln(w)
-			experiments.AblationLLCPolicy(o).Fprint(w)
+			experiments.AblationLLCPolicy(opts("ablation-llc")).Fprint(w)
 			fmt.Fprintln(w)
-			experiments.AblationPairing(o).Fprint(w)
+			experiments.AblationPairing(opts("ablation-pairing")).Fprint(w)
 		}},
 	}
 

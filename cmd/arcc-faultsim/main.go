@@ -5,45 +5,71 @@
 //
 // Usage:
 //
-//	arcc-faultsim [-years 7] [-channels 10000] [-factor 1] [-scrub 4]
-//	              [-ranks 2] [-devices 36] [-seed 1]
+//	arcc-faultsim [-years 7] [-trials 10000] [-factor 1] [-scrub 4]
+//	              [-ranks 2] [-devices 36] [-seed 1] [-parallel 0]
+//	              [-progress]
+//
+// The Monte Carlo runs on the sharded engine (internal/mc): -parallel sets
+// the worker count (0 = all CPUs, 1 = serial) and does not change the
+// numbers — output is bit-identical at any parallelism for a given seed.
+// -progress reports trial completion on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"os"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 	"arcc/internal/reliability"
 )
 
 func main() {
 	years := flag.Int("years", 7, "operational lifespan in years")
-	channels := flag.Int("channels", 10000, "Monte Carlo channels")
+	trials := flag.Int("trials", 10000, "Monte Carlo trials (simulated channels)")
+	channels := flag.Int("channels", 0, "deprecated alias for -trials")
 	factor := flag.Float64("factor", 1, "fault-rate factor over the field study")
 	scrub := flag.Float64("scrub", 4, "scrub interval in hours")
 	ranks := flag.Int("ranks", 2, "ranks per channel")
 	devices := flag.Int("devices", 36, "devices per rank")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "Monte Carlo workers (0 = all CPUs, 1 = serial)")
+	progress := flag.Bool("progress", false, "report Monte Carlo progress on stderr")
 	flag.Parse()
 
+	n := *trials
+	if *channels > 0 {
+		n = *channels
+	}
+	if n <= 0 || *years <= 0 {
+		fmt.Fprintf(os.Stderr, "arcc-faultsim: -trials and -years must be positive (got %d, %d)\n", n, *years)
+		os.Exit(2)
+	}
+	// A fresh printer per Monte Carlo job keeps the 10% ticks independent.
+	opts := func() mc.Options {
+		o := mc.Options{Parallelism: *parallel}
+		if *progress {
+			o.Progress = mc.NewProgressPrinter(os.Stderr, "  mc")
+		}
+		return o
+	}
+
 	rates := faultmodel.FieldStudyRates().Scale(*factor)
-	rng := rand.New(rand.NewSource(*seed))
 	shape := faultmodel.ARCCChannelShape()
 
-	fmt.Printf("Fault rates (%gx field study), %d x %d-device ranks, %d channels, %d years\n\n",
-		*factor, *ranks, *devices, *channels, *years)
+	fmt.Printf("Fault rates (%gx field study), %d x %d-device ranks, %d trials, %d years, %d workers\n\n",
+		*factor, *ranks, *devices, n, *years, workerCount(*parallel))
 
 	fmt.Println("Faulty-page fraction by year (Fig 3.1 methodology):")
-	frac := reliability.FaultyPageFraction(rng, rates, shape, *ranks, *devices, *years, *channels)
+	frac := reliability.FaultyPageFraction(*seed, opts(), rates, shape, *ranks, *devices, *years, n)
 	for y, f := range frac {
 		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
 	}
 
 	fmt.Println("\nLifetime worst-case power overhead (Fig 7.4 methodology, factor 2 on upgraded pages):")
 	ov := reliability.WorstCaseOverheads(shape, 2)
-	overhead := reliability.LifetimeOverhead(rng, rates, *ranks, *devices, *years, *channels, ov, 1)
+	overhead := reliability.LifetimeOverhead(mc.DeriveSeed(*seed, 1), opts(), rates, *ranks, *devices, *years, n, ov, 1)
 	for y, f := range overhead {
 		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
 	}
@@ -61,4 +87,8 @@ func main() {
 	sccdcd := reliability.SDCsPer1000MachineYears(reliability.SCCDCDExpectedSDCs(p), p.LifeYears)
 	fmt.Printf("  SCCDCD DED: %.3e SDCs per 1000 machine-years\n", sccdcd)
 	fmt.Printf("  ARCC DED:   %.3e SDCs per 1000 machine-years\n", arcc)
+}
+
+func workerCount(parallel int) int {
+	return mc.Options{Parallelism: parallel}.Workers()
 }

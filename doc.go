@@ -8,10 +8,11 @@
 // Reed–Solomon codec at the bottom; chipkill ECC schemes (commercial
 // SCCDCD, double chip sparing, LOT-ECC, VECC); DRAM, power, cache, memory
 // controller and CPU models; the ARCC controller itself (internal/core);
-// the enhanced scrubber; and the reliability and experiment harnesses that
-// regenerate every table and figure of the paper's evaluation. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// the enhanced scrubber; the sharded Monte Carlo engine (internal/mc) that
+// every lifetime sweep runs on; and the reliability and experiment
+// harnesses that regenerate every table and figure of the paper's
+// evaluation. See DESIGN.md for the system inventory and the engine's
+// determinism contract.
 //
 // The benchmarks in bench_test.go regenerate one table or figure each:
 //

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 	"arcc/internal/reliability"
 )
 
@@ -37,8 +38,8 @@ func main() {
 
 	// The fleet view: average faulty-page fraction per year (Fig 3.1).
 	fmt.Printf("\nfleet average over %d channels (1x field-study rates):\n", channels)
-	frac := reliability.FaultyPageFraction(rng, rates, shape, 2, 36, years, channels)
-	frac4 := reliability.FaultyPageFraction(rng, rates.Scale(4), shape, 2, 36, years, channels)
+	frac := reliability.FaultyPageFraction(2026, mc.Options{}, rates, shape, 2, 36, years, channels)
+	frac4 := reliability.FaultyPageFraction(2027, mc.Options{}, rates.Scale(4), shape, 2, 36, years, channels)
 	fmt.Printf("  %-6s %-12s %-12s\n", "year", "1x rates", "4x rates")
 	for y := 0; y < years; y++ {
 		fmt.Printf("  %-6d %10.4f%% %10.4f%%\n", y+1, frac[y]*100, frac4[y]*100)
@@ -46,7 +47,7 @@ func main() {
 
 	// What it costs: worst-case lifetime power overhead (Fig 7.4).
 	ov := reliability.WorstCaseOverheads(shape, 2)
-	overhead := reliability.LifetimeOverhead(rng, rates, 2, 36, years, channels, ov, 1)
+	overhead := reliability.LifetimeOverhead(2028, mc.Options{}, rates, 2, 36, years, channels, ov, 1)
 	fmt.Printf("\nworst-case average power overhead (vs fault-free ARCC):\n")
 	for y := 0; y < years; y++ {
 		fmt.Printf("  year %d: %.3f%%\n", y+1, overhead[y]*100)

@@ -1,0 +1,3 @@
+module arcc
+
+go 1.24

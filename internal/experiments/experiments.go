@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"arcc/internal/mc"
 )
 
 // Options tunes experiment cost. The zero value requests paper-scale runs;
@@ -19,6 +21,27 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness; fixed default when zero.
 	Seed int64
+	// Parallel caps the worker count of the Monte Carlo engine and the
+	// per-mix simulation fan-out: 0 means GOMAXPROCS, 1 forces the serial
+	// path. Results are bit-identical at any setting for a given seed.
+	Parallel int
+	// Trials overrides the Monte Carlo channel count of the lifetime
+	// figures (0 keeps the profile default).
+	Trials int
+	// Progress, when non-nil, receives completion counts as an exhibit's
+	// Monte Carlo trials or simulator runs finish.
+	Progress func(done, total int)
+}
+
+// mcOpts returns the engine options for channel-sharded Monte Carlo.
+func (o Options) mcOpts() mc.Options {
+	return mc.Options{Parallelism: o.Parallel, Progress: o.Progress}
+}
+
+// simOpts returns the engine options for fan-outs whose trials are whole
+// simulator runs: one run per shard.
+func (o Options) simOpts() mc.Options {
+	return mc.Options{Parallelism: o.Parallel, ShardSize: 1, Progress: o.Progress}
 }
 
 func (o Options) seed() int64 {
@@ -38,11 +61,24 @@ func (o Options) instructions() int64 {
 
 // channels returns the Monte Carlo channel count.
 func (o Options) channels() int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
 	if o.Quick {
 		return 1_000
 	}
 	return 10_000
 }
+
+// Seed-derivation tags: every Monte Carlo consumer derives its base seed
+// as mc.DeriveSeed(o.seed(), tag+index), so no two exhibits (or rate
+// factors within one exhibit) share an RNG stream.
+const (
+	tagFig31         uint64 = 0x3100
+	tagLifetimeMeas  uint64 = 0x7400
+	tagLifetimeWorst uint64 = 0x7500
+	tagFig76         uint64 = 0x7600
+)
 
 func fprintf(w io.Writer, format string, args ...any) {
 	if _, err := fmt.Fprintf(w, format, args...); err != nil {

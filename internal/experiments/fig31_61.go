@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"io"
-	"math/rand"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 	"arcc/internal/reliability"
 )
 
@@ -19,15 +19,17 @@ type Fig31Result struct {
 }
 
 // Fig31 reproduces Figure 3.1 with a Monte Carlo over memory channels of
-// two 36-device ranks (the baseline shape the chapter uses).
+// two 36-device ranks (the baseline shape the chapter uses). The channels
+// of each rate factor run on the sharded engine with a factor-specific
+// seed stream derived from o.Seed.
 func Fig31(o Options) Fig31Result {
 	res := Fig31Result{Years: 7, Factors: []float64{1, 2, 4}}
-	rng := rand.New(rand.NewSource(o.seed()))
 	shape := faultmodel.ARCCChannelShape()
-	for _, f := range res.Factors {
+	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
+		seed := mc.DeriveSeed(o.seed(), tagFig31+uint64(fi))
 		res.Fraction = append(res.Fraction,
-			reliability.FaultyPageFraction(rng, rates, shape, 2, 36, res.Years, o.channels()))
+			reliability.FaultyPageFraction(seed, o.mcOpts(), rates, shape, 2, 36, res.Years, o.channels()))
 	}
 	return res
 }

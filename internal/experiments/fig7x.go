@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"io"
+	"math/rand"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 	"arcc/internal/sim"
 	"arcc/internal/stats"
 	"arcc/internal/workload"
@@ -40,17 +42,23 @@ type Fig71Result struct {
 }
 
 // Fig71 reproduces Figure 7.1: DRAM power and performance improvement of
-// fault-free ARCC over commercial chipkill, per mix.
+// fault-free ARCC over commercial chipkill, per mix. The per-mix simulator
+// runs fan out across the engine's workers; each run is seeded from its
+// config alone, so the figure is identical at any parallelism.
 func Fig71(o Options) Fig71Result {
 	var res Fig71Result
-	for _, mix := range workload.Mixes() {
-		base := runMix(mix, sim.Baseline, 0, o)
-		arcc := runMix(mix, sim.ARCC, 0, o)
-		red := 1 - arcc.PowerMW/base.PowerMW
-		gain := arcc.IPCSum/base.IPCSum - 1
+	mixes := workload.Mixes()
+	type pair struct{ base, arcc sim.Result }
+	pairs := mc.Map(len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) pair {
+		return pair{
+			base: runMix(mixes[i], sim.Baseline, 0, o),
+			arcc: runMix(mixes[i], sim.ARCC, 0, o),
+		}
+	})
+	for i, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
-		res.PowerReduction = append(res.PowerReduction, red)
-		res.IPCGain = append(res.IPCGain, gain)
+		res.PowerReduction = append(res.PowerReduction, 1-pairs[i].arcc.PowerMW/pairs[i].base.PowerMW)
+		res.IPCGain = append(res.IPCGain, pairs[i].arcc.IPCSum/pairs[i].base.IPCSum-1)
 	}
 	res.AvgPowerReduction = stats.Mean(res.PowerReduction)
 	res.AvgIPCGain = stats.Mean(res.IPCGain)
@@ -90,15 +98,21 @@ func Fig73(o Options) FaultSweepResult { return faultSweep(o, "ipc") }
 func faultSweep(o Options, metric string) FaultSweepResult {
 	res := FaultSweepResult{Metric: metric, Scenarios: FaultScenarios()}
 	mixes := workload.Mixes()
-	clean := make([]sim.Result, len(mixes))
-	for i, mix := range mixes {
-		res.Mixes = append(res.Mixes, mix.Name)
-		clean[i] = runMix(mix, sim.ARCC, 0, o)
+	// Fault-free reference runs, then every (scenario, mix) cell, each a
+	// whole simulator run fanned out across the engine's workers.
+	clean := mc.Map(len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) sim.Result {
+		return runMix(mixes[i], sim.ARCC, 0, o)
+	})
+	for i := range mixes {
+		res.Mixes = append(res.Mixes, mixes[i].Name)
 	}
-	for _, sc := range res.Scenarios {
+	cells := mc.Map(len(res.Scenarios)*len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) sim.Result {
+		return runMix(mixes[i%len(mixes)], sim.ARCC, res.Scenarios[i/len(mixes)].Fraction, o)
+	})
+	for s, sc := range res.Scenarios {
 		row := make([]float64, len(mixes))
-		for i, mix := range mixes {
-			r := runMix(mix, sim.ARCC, sc.Fraction, o)
+		for i := range mixes {
+			r := cells[s*len(mixes)+i]
 			if metric == "power" {
 				row[i] = r.PowerMW / clean[i].PowerMW
 			} else {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// The golden tests pin the rendered output of the deterministic exhibits:
+// the static tables, the closed-form Fig 6.1, and the seeded Monte Carlo
+// Fig 3.1 (quick profile, seed 1 — bit-identical at any parallelism by the
+// engine's contract). A refactor that drifts any of the paper's numbers,
+// or even their formatting, fails here; run `go test ./internal/experiments
+// -run Golden -update` to bless an intentional change.
+func TestGoldenExhibits(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	cases := []struct {
+		name  string
+		print func(*bytes.Buffer)
+	}{
+		{"table71", func(b *bytes.Buffer) { FprintTable71(b) }},
+		{"table72", func(b *bytes.Buffer) { FprintTable72(b) }},
+		{"table73", func(b *bytes.Buffer) { FprintTable73(b) }},
+		{"table74", func(b *bytes.Buffer) { FprintTable74(b) }},
+		{"fig61", func(b *bytes.Buffer) { Fig61(o).Fprint(b) }},
+		{"fig31_quick_seed1", func(b *bytes.Buffer) { Fig31(o).Fprint(b) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			tc.print(&buf)
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+			}
+		})
+	}
+}

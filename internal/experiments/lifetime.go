@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"io"
-	"math/rand"
 
 	"arcc/internal/faultmodel"
 	"arcc/internal/lotecc"
+	"arcc/internal/mc"
 	"arcc/internal/reliability"
 )
 
@@ -54,10 +54,10 @@ func Fig76(o Options) LifetimeResult {
 		Years:   7,
 		Factors: []float64{1, 2, 4},
 	}
-	rng := rand.New(rand.NewSource(o.seed()))
-	for _, f := range res.Factors {
+	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
-		series := reliability.LifetimeOverhead(rng, rates, 2, 9, res.Years, o.channels(), ov, factor-1)
+		seed := mc.DeriveSeed(o.seed(), tagFig76+uint64(fi))
+		series := reliability.LifetimeOverhead(seed, o.mcOpts(), rates, 2, 9, res.Years, o.channels(), ov, factor-1)
 		res.WorstCase = append(res.WorstCase, series)
 	}
 	return res
@@ -100,13 +100,14 @@ func worstCasePerf() reliability.OverheadByType {
 
 func lifetimeSweep(o Options, title, metric string, measured, worst reliability.OverheadByType, cap float64) LifetimeResult {
 	res := LifetimeResult{Title: title, Metric: metric, Years: 7, Factors: []float64{1, 2, 4}}
-	rng := rand.New(rand.NewSource(o.seed()))
-	for _, f := range res.Factors {
+	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
 		res.Measured = append(res.Measured,
-			reliability.LifetimeOverhead(rng, rates, 2, 18, res.Years, o.channels(), measured, cap))
+			reliability.LifetimeOverhead(mc.DeriveSeed(o.seed(), tagLifetimeMeas+uint64(fi)),
+				o.mcOpts(), rates, 2, 18, res.Years, o.channels(), measured, cap))
 		res.WorstCase = append(res.WorstCase,
-			reliability.LifetimeOverhead(rng, rates, 2, 18, res.Years, o.channels(), worst, cap))
+			reliability.LifetimeOverhead(mc.DeriveSeed(o.seed(), tagLifetimeWorst+uint64(fi)),
+				o.mcOpts(), rates, 2, 18, res.Years, o.channels(), worst, cap))
 	}
 	return res
 }

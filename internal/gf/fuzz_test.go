@@ -1,0 +1,80 @@
+package gf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mulSlow is bitwise carry-less multiplication reduced by Poly — the
+// definitional reference the table-driven Mul must match.
+func mulSlow(a, b Elem) Elem {
+	var acc int
+	x, y := int(a), int(b)
+	for ; y != 0; y >>= 1 {
+		if y&1 != 0 {
+			acc ^= x
+		}
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	return Elem(acc)
+}
+
+// FuzzGFArithmetic throws arbitrary symbol triples at the field axioms the
+// Reed-Solomon decoder relies on: Mul agreeing with the definitional
+// reference, associativity/commutativity/distributivity, multiplicative
+// inverses, and the division/multiplication round trip.
+func FuzzGFArithmetic(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(2))
+	f.Add(byte(0xFF), byte(0x1D), byte(0x80))
+	f.Add(byte(1), byte(1), byte(1))
+	f.Fuzz(func(t *testing.T, a, b, c byte) {
+		if got, want := Mul(a, b), mulSlow(a, b); got != want {
+			t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+		}
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatalf("Mul not commutative at (%#x, %#x)", a, b)
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatalf("Mul not associative at (%#x, %#x, %#x)", a, b, c)
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatalf("Mul not distributive at (%#x, %#x, %#x)", a, b, c)
+		}
+		if b != 0 {
+			if Mul(b, Inv(b)) != 1 {
+				t.Fatalf("Inv(%#x) is not an inverse", b)
+			}
+			if Mul(Div(a, b), b) != a {
+				t.Fatalf("Div(%#x, %#x) * %#x != %#x", a, b, b, a)
+			}
+		}
+	})
+}
+
+// FuzzPolyDivMod checks the polynomial division identity
+// p = q*divisor + r with deg(r) < deg(divisor) for arbitrary coefficient
+// strings — the backbone of systematic Reed-Solomon encoding.
+func FuzzPolyDivMod(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{7, 1})
+	f.Add([]byte{0, 0, 9}, []byte{1, 1, 1})
+	f.Fuzz(func(t *testing.T, pc, dc []byte) {
+		if len(pc) > 64 || len(dc) > 64 {
+			t.Skip("degree cap")
+		}
+		p, d := Polynomial(pc), Polynomial(dc)
+		if PolyDegree(d) < 0 {
+			t.Skip("zero divisor")
+		}
+		q, r := PolyDivMod(p, d)
+		if PolyDegree(r) >= PolyDegree(d) && PolyDegree(d) > 0 {
+			t.Fatalf("remainder degree %d not below divisor degree %d", PolyDegree(r), PolyDegree(d))
+		}
+		back := PolyAdd(PolyMul(q, d), r)
+		if !reflect.DeepEqual(PolyTrim(back), PolyTrim(p)) {
+			t.Fatalf("q*d + r = %v, want %v", PolyTrim(back), PolyTrim(p))
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package mc is the sharded Monte Carlo engine behind every lifetime
+// figure the repository regenerates (Fig 3.1, 6.1 validation, 7.4-7.6)
+// and behind the replicated simulation runs of Chapter 7.
+//
+// A job's trials are partitioned into fixed-size shards. Each shard owns a
+// private RNG stream whose seed is derived from the job seed and the shard
+// index alone (base ^ splitmix64(shardIndex)), and accumulates its trial
+// results into a private Accumulator. Shards are executed by a pool of
+// workers and their accumulators are merged in shard-index order once all
+// shards finish. Because the shard structure, the per-shard streams, and
+// the merge order depend only on (Trials, ShardSize, Seed) — never on the
+// worker count — a job's result is bit-identical at any parallelism,
+// including the serial Parallelism=1 special case, which runs the shards
+// inline on the calling goroutine with no pool at all.
+package mc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// DefaultShardSize is the number of trials per shard when Options.ShardSize
+// is zero. Small enough to load-balance thousands of cheap trials across a
+// pool, large enough to amortise RNG and accumulator setup.
+const DefaultShardSize = 64
+
+// Accumulator collects the results of the trials of one shard. One
+// accumulator is created per shard and used from a single goroutine;
+// implementations need no internal locking.
+type Accumulator interface {
+	// Merge folds other — the accumulator of a later shard — into the
+	// receiver. The engine always merges in shard-index order, so
+	// implementations may rely on a deterministic fold even for
+	// non-associative float accumulation.
+	Merge(other Accumulator)
+}
+
+// Job describes one Monte Carlo computation.
+type Job struct {
+	// Trials is the total number of trials to run. Must be positive.
+	Trials int
+	// Seed is the base seed; shard i draws from a stream seeded with
+	// Seed ^ splitmix64(i).
+	Seed int64
+	// NewAcc allocates an empty per-shard accumulator.
+	NewAcc func() Accumulator
+	// Trial runs trial number trial (0-based, global across shards) using
+	// the shard's rng and records its result in acc.
+	Trial func(rng *rand.Rand, trial int, acc Accumulator)
+}
+
+// Options tunes how a job executes without affecting its result.
+type Options struct {
+	// Parallelism is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	// 1 runs the shards inline with no goroutines.
+	Parallelism int
+	// ShardSize overrides DefaultShardSize. Results are bit-identical only
+	// across runs that use the same shard size. Callers whose trials are
+	// individually expensive (whole simulator runs) should set 1.
+	ShardSize int
+	// Progress, when non-nil, is called after each shard completes with
+	// the number of trials finished so far and the total. Calls are
+	// serialised by the engine; done is non-decreasing across calls.
+	Progress func(done, total int)
+}
+
+// Workers returns the effective worker count the options request (before
+// capping at the job's shard count).
+func (o Options) Workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+func (o Options) shardSize() int {
+	if o.ShardSize <= 0 {
+		return DefaultShardSize
+	}
+	return o.ShardSize
+}
+
+// Run executes the job and returns the merge of all shard accumulators
+// (shard 0's accumulator after folding shards 1..n-1 into it, in order).
+func Run(job Job, opts Options) Accumulator {
+	if job.Trials <= 0 {
+		panic(fmt.Sprintf("mc: non-positive trial count %d", job.Trials))
+	}
+	if job.NewAcc == nil || job.Trial == nil {
+		panic("mc: job needs NewAcc and Trial")
+	}
+	size := opts.shardSize()
+	shards := (job.Trials + size - 1) / size
+	accs := make([]Accumulator, shards)
+
+	runShard := func(s int) {
+		rng := rand.New(rand.NewSource(ShardSeed(job.Seed, s)))
+		acc := job.NewAcc()
+		lo := s * size
+		hi := lo + size
+		if hi > job.Trials {
+			hi = job.Trials
+		}
+		for t := lo; t < hi; t++ {
+			job.Trial(rng, t, acc)
+		}
+		accs[s] = acc
+	}
+
+	workers := opts.Workers()
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		done := 0
+		for s := 0; s < shards; s++ {
+			runShard(s)
+			done += shardTrials(s, size, job.Trials)
+			if opts.Progress != nil {
+				opts.Progress(done, job.Trials)
+			}
+		}
+	} else {
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			done    int
+			shardCh = make(chan int)
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for s := range shardCh {
+					runShard(s)
+					if opts.Progress != nil {
+						mu.Lock()
+						done += shardTrials(s, size, job.Trials)
+						opts.Progress(done, job.Trials)
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for s := 0; s < shards; s++ {
+			shardCh <- s
+		}
+		close(shardCh)
+		wg.Wait()
+	}
+
+	out := accs[0]
+	for s := 1; s < shards; s++ {
+		out.Merge(accs[s])
+	}
+	return out
+}
+
+// shardTrials returns how many trials shard s covers.
+func shardTrials(s, size, trials int) int {
+	lo := s * size
+	hi := lo + size
+	if hi > trials {
+		hi = trials
+	}
+	return hi - lo
+}
+
+// ShardSeed derives the RNG seed of shard s from the job's base seed. The
+// splitmix64 finaliser decorrelates the streams of adjacent shards, so the
+// caller may use small consecutive base seeds without overlapping streams.
+func ShardSeed(base int64, s int) int64 {
+	return int64(uint64(base) ^ splitmix64(uint64(s)))
+}
+
+// DeriveSeed produces an independent base seed for a sub-experiment (e.g.
+// one rate factor of a sweep) from a root seed and a tag. It reuses the
+// splitmix64 finaliser with an offset that keeps sub-experiment streams
+// disjoint from shard streams of the root seed.
+func DeriveSeed(root int64, tag uint64) int64 {
+	return int64(splitmix64(uint64(root) + splitmix64(tag) + 0x632be59bd9b4e019))
+}
+
+// splitmix64 is the finaliser of Steele et al.'s SplitMix64 generator: a
+// bijective avalanche mix of the input, here used to turn a dense shard
+// index into a decorrelated stream seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewProgressPrinter returns a Progress callback that writes a labelled
+// line to w at every completed 10% of a job. It may be shared across
+// consecutive jobs: a change of total, or done falling back, marks the
+// start of a new job and resets the ticks.
+func NewProgressPrinter(w io.Writer, label string) func(done, total int) {
+	lastDone, lastTotal, lastDecile := -1, -1, -1
+	return func(done, total int) {
+		if total != lastTotal || done <= lastDone {
+			lastDecile = -1
+		}
+		lastDone, lastTotal = done, total
+		decile := done * 10 / total
+		if decile > lastDecile {
+			fmt.Fprintf(w, "%s: %d/%d (%d%%)\n", label, done, total, decile*10)
+			lastDecile = decile
+		}
+	}
+}
+
+// Map runs n trials and returns their results in trial order: a
+// convenience wrapper over Run for jobs whose trials each produce one
+// independent value (e.g. one simulator run per seed). The per-trial rng
+// comes from the trial's shard stream as usual.
+func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial int) T) []T {
+	acc := Run(Job{
+		Trials: n,
+		Seed:   seed,
+		NewAcc: func() Accumulator { return &mapAcc[T]{} },
+		Trial: func(rng *rand.Rand, trial int, a Accumulator) {
+			ma := a.(*mapAcc[T])
+			ma.idx = append(ma.idx, trial)
+			ma.vals = append(ma.vals, f(rng, trial))
+		},
+	}, opts)
+	ma := acc.(*mapAcc[T])
+	out := make([]T, n)
+	for i, idx := range ma.idx {
+		out[idx] = ma.vals[i]
+	}
+	return out
+}
+
+type mapAcc[T any] struct {
+	idx  []int
+	vals []T
+}
+
+func (m *mapAcc[T]) Merge(other Accumulator) {
+	o := other.(*mapAcc[T])
+	m.idx = append(m.idx, o.idx...)
+	m.vals = append(m.vals, o.vals...)
+}

@@ -1,0 +1,177 @@
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sumAcc is a float accumulator whose merge is order-sensitive enough to
+// expose nondeterministic folds (float addition is not associative).
+type sumAcc struct {
+	sum   float64
+	count int
+}
+
+func (a *sumAcc) Merge(other Accumulator) {
+	o := other.(*sumAcc)
+	a.sum += o.sum
+	a.count += o.count
+}
+
+func sumJob(trials int, seed int64) Job {
+	return Job{
+		Trials: trials,
+		Seed:   seed,
+		NewAcc: func() Accumulator { return &sumAcc{} },
+		Trial: func(rng *rand.Rand, trial int, acc Accumulator) {
+			a := acc.(*sumAcc)
+			// Mix the trial index in so coverage bugs (skipped or doubled
+			// trials) shift the sum even if the rng draws collide.
+			a.sum += rng.Float64() * float64(trial%7+1)
+			a.count++
+		},
+	}
+}
+
+func TestRunCoversEveryTrialExactlyOnce(t *testing.T) {
+	for _, trials := range []int{1, 63, 64, 65, 1000} {
+		acc := Run(sumJob(trials, 1), Options{Parallelism: 3}).(*sumAcc)
+		if acc.count != trials {
+			t.Errorf("trials=%d: ran %d trials", trials, acc.count)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	want := Run(sumJob(1000, 42), Options{Parallelism: 1}).(*sumAcc)
+	if want.sum == 0 {
+		t.Fatal("degenerate sum")
+	}
+	for _, par := range []int{1, 4, runtime.NumCPU(), 32} {
+		got := Run(sumJob(1000, 42), Options{Parallelism: par}).(*sumAcc)
+		if got.sum != want.sum {
+			t.Errorf("parallelism %d: sum %v, want bit-identical %v", par, got.sum, want.sum)
+		}
+	}
+}
+
+func TestRunSeedChangesResult(t *testing.T) {
+	a := Run(sumJob(500, 1), Options{}).(*sumAcc)
+	b := Run(sumJob(500, 2), Options{}).(*sumAcc)
+	if a.sum == b.sum {
+		t.Fatal("different seeds produced identical sums")
+	}
+}
+
+func TestRunShardSizeChangesStreams(t *testing.T) {
+	// Different shard sizes give different (but each internally
+	// deterministic) results: the per-shard streams re-partition.
+	a := Run(sumJob(500, 1), Options{ShardSize: 64}).(*sumAcc)
+	b := Run(sumJob(500, 1), Options{ShardSize: 128}).(*sumAcc)
+	if a.sum == b.sum {
+		t.Fatal("shard size did not re-partition the streams")
+	}
+}
+
+func TestShardSeedsDecorrelated(t *testing.T) {
+	seen := map[int64]int{}
+	for s := 0; s < 10000; s++ {
+		seen[ShardSeed(1, s)]++
+	}
+	if len(seen) != 10000 {
+		t.Fatalf("shard seed collisions: %d distinct of 10000", len(seen))
+	}
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(1, 1) || DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("DeriveSeed ignores tag or root")
+	}
+}
+
+func TestProgressMonotoneAndComplete(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var mu sync.Mutex
+		last, calls := 0, 0
+		opts := Options{Parallelism: par, ShardSize: 10, Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done < last || done > total {
+				t.Errorf("par %d: progress went %d -> %d of %d", par, last, done, total)
+			}
+			last = done
+			calls++
+		}}
+		Run(sumJob(95, 7), opts)
+		if last != 95 || calls != 10 {
+			t.Fatalf("par %d: final progress %d after %d calls, want 95 after 10", par, last, calls)
+		}
+	}
+}
+
+func TestMapOrdersResultsByTrial(t *testing.T) {
+	want := Map(257, 3, Options{Parallelism: 1}, func(rng *rand.Rand, trial int) float64 {
+		return float64(trial) + rng.Float64()
+	})
+	for _, par := range []int{4, runtime.NumCPU()} {
+		got := Map(257, 3, Options{Parallelism: par}, func(rng *rand.Rand, trial int) float64 {
+			return float64(trial) + rng.Float64()
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par %d: trial %d = %v, want %v", par, i, got[i], want[i])
+			}
+		}
+	}
+	for i, v := range want {
+		if int(v) != i {
+			t.Fatalf("trial %d result %v landed at wrong index", i, v)
+		}
+	}
+}
+
+func TestNewProgressPrinterResetsPerJob(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgressPrinter(&buf, "job")
+	// Job 1: two shards of a 100-trial job.
+	p(50, 100)
+	p(100, 100)
+	// Job 2 with the same total must print again from 0%.
+	p(50, 100)
+	p(100, 100)
+	// Job 3 with a new total resets even though done jumped upward.
+	p(640, 1000)
+	p(1000, 1000)
+	got := strings.Count(buf.String(), "\n")
+	if got != 6 {
+		t.Fatalf("printed %d lines, want 6:\n%s", got, buf.String())
+	}
+	// Within one job, a tick below the next decile prints nothing.
+	buf.Reset()
+	p2 := NewProgressPrinter(&buf, "job")
+	p2(10, 1000)
+	p2(19, 1000)
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("sub-decile tick printed: %q", buf.String())
+	}
+}
+
+func TestRunPanicsOnBadJob(t *testing.T) {
+	for name, job := range map[string]Job{
+		"no trials": {Trials: 0, NewAcc: func() Accumulator { return &sumAcc{} }, Trial: func(*rand.Rand, int, Accumulator) {}},
+		"no newacc": {Trials: 1, Trial: func(*rand.Rand, int, Accumulator) {}},
+		"no trial":  {Trials: 1, NewAcc: func() Accumulator { return &sumAcc{} }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Run(job, Options{})
+		}()
+	}
+}

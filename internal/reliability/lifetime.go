@@ -5,38 +5,66 @@ import (
 	"math/rand"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 )
+
+// yearSums accumulates per-year sums over the Monte Carlo channels of one
+// shard; Merge adds element-wise, so the shard-ordered fold of the engine
+// reproduces a serial summation bit for bit.
+type yearSums struct {
+	sums []float64
+}
+
+func newYearSums(years int) func() mc.Accumulator {
+	return func() mc.Accumulator { return &yearSums{sums: make([]float64, years)} }
+}
+
+func (a *yearSums) Merge(other mc.Accumulator) {
+	o := other.(*yearSums)
+	for i, v := range o.sums {
+		a.sums[i] += v
+	}
+}
 
 // FaultyPageFraction reproduces Fig 3.1: the average fraction of a
 // channel's 4 KB pages that has been affected by at least one fault, as a
 // function of operational lifespan, under the worst-case assumption that
 // every location under faulty circuitry is corrupted. It Monte Carlo
-// averages over channels and returns one value per year 1..years.
-func FaultyPageFraction(rng *rand.Rand, rates faultmodel.Rates, shape faultmodel.ChannelShape,
+// averages over channels — sharded across workers per opts, bit-identical
+// at any parallelism for a given seed — and returns one value per year
+// 1..years.
+func FaultyPageFraction(seed int64, opts mc.Options, rates faultmodel.Rates, shape faultmodel.ChannelShape,
 	ranks, devicesPerRank int, years, channels int) []float64 {
 	if years <= 0 || channels <= 0 {
 		panic("reliability: invalid years/channels")
 	}
-	sums := make([]float64, years)
-	for ch := 0; ch < channels; ch++ {
-		arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
-		// Union bound capped at 1: fault spans are large and disjointness
-		// dominates at these counts, so the cap only binds for multi-fault
-		// channels with lane faults.
-		idx := 0
-		frac := 0.0
-		for y := 1; y <= years; y++ {
-			limit := float64(y) * faultmodel.HoursPerYear
-			for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
-				frac += shape.UpgradedFraction(arrivals[idx].Type)
-				idx++
+	acc := mc.Run(mc.Job{
+		Trials: channels,
+		Seed:   seed,
+		NewAcc: newYearSums(years),
+		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+			sums := a.(*yearSums).sums
+			arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+			// Union bound capped at 1: fault spans are large and disjointness
+			// dominates at these counts, so the cap only binds for multi-fault
+			// channels with lane faults.
+			idx := 0
+			frac := 0.0
+			for y := 1; y <= years; y++ {
+				limit := float64(y) * faultmodel.HoursPerYear
+				for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+					frac += shape.UpgradedFraction(arrivals[idx].Type)
+					idx++
+				}
+				if frac > 1 {
+					sums[y-1] += 1
+				} else {
+					sums[y-1] += frac
+				}
 			}
-			if frac > 1 {
-				frac = 1
-			}
-			sums[y-1] += frac
-		}
-	}
+		},
+	}, opts)
+	sums := acc.(*yearSums).sums
 	for i := range sums {
 		sums[i] /= float64(channels)
 	}
@@ -54,41 +82,46 @@ type OverheadByType map[faultmodel.Type]float64
 // arrival time onward (additive per fault, capped at cap — the overhead of
 // a fully-upgraded memory). For each year X it reports the overhead
 // time-averaged from power-on through the end of year X, averaged over
-// channels.
-func LifetimeOverhead(rng *rand.Rand, rates faultmodel.Rates, ranks, devicesPerRank int,
+// channels. Channels are sharded across workers per opts; the result is
+// bit-identical at any parallelism for a given seed.
+func LifetimeOverhead(seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
 	years, channels int, overhead OverheadByType, cap float64) []float64 {
 	if years <= 0 || channels <= 0 || cap <= 0 {
 		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
 	}
-	totalHours := float64(years) * faultmodel.HoursPerYear
-	sums := make([]float64, years)
-	for ch := 0; ch < channels; ch++ {
-		arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
-		// Build the overhead step function and integrate it.
-		integrated := 0.0 // overhead-hours accumulated so far
-		current := 0.0
-		lastT := 0.0
-		idx := 0
-		for y := 1; y <= years; y++ {
-			limit := float64(y) * faultmodel.HoursPerYear
-			for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
-				a := arrivals[idx]
-				integrated += current * (a.AtHours - lastT)
-				lastT = a.AtHours
-				if ov, ok := overhead[a.Type]; ok {
-					current += ov
-					if current > cap {
-						current = cap
+	acc := mc.Run(mc.Job{
+		Trials: channels,
+		Seed:   seed,
+		NewAcc: newYearSums(years),
+		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+			sums := a.(*yearSums).sums
+			arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+			// Build the overhead step function and integrate it.
+			integrated := 0.0 // overhead-hours accumulated so far
+			current := 0.0
+			lastT := 0.0
+			idx := 0
+			for y := 1; y <= years; y++ {
+				limit := float64(y) * faultmodel.HoursPerYear
+				for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+					arr := arrivals[idx]
+					integrated += current * (arr.AtHours - lastT)
+					lastT = arr.AtHours
+					if ov, ok := overhead[arr.Type]; ok {
+						current += ov
+						if current > cap {
+							current = cap
+						}
 					}
+					idx++
 				}
-				idx++
+				integrated += current * (limit - lastT)
+				lastT = limit
+				sums[y-1] += integrated / limit
 			}
-			integrated += current * (limit - lastT)
-			lastT = limit
-			sums[y-1] += integrated / limit
-		}
-		_ = totalHours
-	}
+		},
+	}, opts)
+	sums := acc.(*yearSums).sums
 	for i := range sums {
 		sums[i] /= float64(channels)
 	}

@@ -2,10 +2,10 @@ package reliability
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 )
 
 func TestOverlapProbBasics(t *testing.T) {
@@ -108,7 +108,7 @@ func TestMonteCarloValidatesAnalyticModel(t *testing.T) {
 	p.LifeYears = 1
 	want := ARCCDEDExpectedSDCs(p)
 	const channels = 3000
-	got := float64(SimulateARCCDED(rand.New(rand.NewSource(42)), p, channels)) / channels
+	got := float64(SimulateARCCDED(42, mc.Options{}, p, channels)) / channels
 	if want <= 0 {
 		t.Fatal("analytic expectation not positive")
 	}
@@ -133,9 +133,8 @@ func TestSDCsPer1000MachineYears(t *testing.T) {
 func TestFaultyPageFractionShape(t *testing.T) {
 	// Fig 3.1: a few percent at most through year 7 at 1x rates, growing
 	// with time and with the rate factor.
-	rng := rand.New(rand.NewSource(1))
 	shape := faultmodel.ARCCChannelShape()
-	f1 := FaultyPageFraction(rng, faultmodel.FieldStudyRates(), shape, 2, 36, 7, 4000)
+	f1 := FaultyPageFraction(1, mc.Options{}, faultmodel.FieldStudyRates(), shape, 2, 36, 7, 4000)
 	if len(f1) != 7 {
 		t.Fatalf("got %d years", len(f1))
 	}
@@ -147,7 +146,7 @@ func TestFaultyPageFractionShape(t *testing.T) {
 	if f1[6] <= 0 || f1[6] > 0.10 {
 		t.Fatalf("year-7 faulty fraction %v, want (0, 0.10] — 'just a few percent'", f1[6])
 	}
-	f4 := FaultyPageFraction(rng, faultmodel.FieldStudyRates().Scale(4), shape, 2, 36, 7, 4000)
+	f4 := FaultyPageFraction(2, mc.Options{}, faultmodel.FieldStudyRates().Scale(4), shape, 2, 36, 7, 4000)
 	if f4[6] <= f1[6] {
 		t.Fatal("4x rates must raise the faulty fraction")
 	}
@@ -159,10 +158,9 @@ func TestFaultyPageFractionShape(t *testing.T) {
 func TestLifetimeOverheadShape(t *testing.T) {
 	// Fig 7.4's worst-case estimate: small (a few percent), growing with
 	// years, and bounded by the cap.
-	rng := rand.New(rand.NewSource(2))
 	shape := faultmodel.ARCCChannelShape()
 	ov := WorstCaseOverheads(shape, 2) // power doubles on upgraded pages
-	got := LifetimeOverhead(rng, faultmodel.FieldStudyRates(), 2, 36, 7, 4000, ov, 1.0)
+	got := LifetimeOverhead(2, mc.Options{}, faultmodel.FieldStudyRates(), 2, 36, 7, 4000, ov, 1.0)
 	for y := 1; y < 7; y++ {
 		if got[y] < got[y-1]-1e-12 {
 			t.Fatalf("lifetime overhead not monotone at year %d: %v < %v", y+1, got[y], got[y-1])
@@ -174,9 +172,8 @@ func TestLifetimeOverheadShape(t *testing.T) {
 }
 
 func TestLifetimeOverheadRespectsCap(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
 	ov := OverheadByType{faultmodel.Device: 10} // absurd per-fault overhead
-	got := LifetimeOverhead(rng, faultmodel.FieldStudyRates().Scale(1000), 2, 36, 3, 200, ov, 0.5)
+	got := LifetimeOverhead(3, mc.Options{}, faultmodel.FieldStudyRates().Scale(1000), 2, 36, 3, 200, ov, 0.5)
 	for _, v := range got {
 		if v > 0.5+1e-9 {
 			t.Fatalf("overhead %v exceeds cap 0.5", v)
@@ -203,11 +200,10 @@ func TestWorstCaseOverheads(t *testing.T) {
 func TestARCCLOTECCLifetimeOverheadMatchesPaperMagnitude(t *testing.T) {
 	// Fig 7.6: ~1.6% average overhead over 7 years at 1x rates, no more
 	// than ~6.3% at 4x. Generous bands around those anchors.
-	rng := rand.New(rand.NewSource(4))
 	shape := faultmodel.ARCCChannelShape()
 	ov := WorstCaseOverheads(shape, 4)
-	at1 := LifetimeOverhead(rng, faultmodel.FieldStudyRates(), 2, 18, 7, 6000, ov, 3.0)
-	at4 := LifetimeOverhead(rng, faultmodel.FieldStudyRates().Scale(4), 2, 18, 7, 6000, ov, 3.0)
+	at1 := LifetimeOverhead(4, mc.Options{}, faultmodel.FieldStudyRates(), 2, 18, 7, 6000, ov, 3.0)
+	at4 := LifetimeOverhead(5, mc.Options{}, faultmodel.FieldStudyRates().Scale(4), 2, 18, 7, 6000, ov, 3.0)
 	if at1[6] <= 0.001 || at1[6] > 0.05 {
 		t.Fatalf("1x 7-year overhead %v, want around the paper's 1.6%%", at1[6])
 	}
@@ -217,15 +213,14 @@ func TestARCCLOTECCLifetimeOverheadMatchesPaperMagnitude(t *testing.T) {
 }
 
 func TestPanicsOnBadArguments(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
 	shape := faultmodel.ARCCChannelShape()
 	for name, f := range map[string]func(){
 		"bad geom":      func() { RankGeom{}.OverlapProb(faultmodel.Bit, faultmodel.Bit) },
 		"bad ranks":     func() { DefaultRankGeom().PairThreatProb(faultmodel.Bit, faultmodel.Bit, 0) },
 		"bad params":    func() { ARCCDEDExpectedSDCs(Params{}) },
-		"bad channels":  func() { SimulateARCCDED(rng, DefaultParams(), 0) },
-		"bad years":     func() { FaultyPageFraction(rng, faultmodel.FieldStudyRates(), shape, 2, 36, 0, 1) },
-		"bad cap":       func() { LifetimeOverhead(rng, faultmodel.FieldStudyRates(), 2, 36, 1, 1, nil, 0) },
+		"bad channels":  func() { SimulateARCCDED(5, mc.Options{}, DefaultParams(), 0) },
+		"bad years":     func() { FaultyPageFraction(5, mc.Options{}, faultmodel.FieldStudyRates(), shape, 2, 36, 0, 1) },
+		"bad cap":       func() { LifetimeOverhead(5, mc.Options{}, faultmodel.FieldStudyRates(), 2, 36, 1, 1, nil, 0) },
 		"worst-case <1": func() { WorstCaseOverheads(shape, 0.5) },
 	} {
 		func() {

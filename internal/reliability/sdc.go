@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
 )
 
 // Params configures the SDC models.
@@ -129,36 +130,48 @@ func SDCsPer1000MachineYears(expectedPerLifetime float64, lifeYears float64) flo
 	return expectedPerLifetime * 1000 / lifeYears
 }
 
+// eventCount accumulates undetected-event counts across shards.
+type eventCount struct{ events int }
+
+func (a *eventCount) Merge(other mc.Accumulator) { a.events += other.(*eventCount).events }
+
 // SimulateARCCDED runs the event-level Monte Carlo for the ARCC DED model:
 // it draws fault histories for channels channels and counts how many
 // undetected double-fault events occur (second threat fault landing before
 // the scrub that would have detected the first). It exists to validate the
 // closed-form model, exactly as the paper validates its analytic models
 // with Monte Carlo; run it at inflated rates to see events at all.
-func SimulateARCCDED(rng *rand.Rand, p Params, channels int) int {
+// Channels are sharded across workers per opts with one RNG stream per
+// shard, so the count is reproducible at any parallelism.
+func SimulateARCCDED(seed int64, opts mc.Options, p Params, channels int) int {
 	p.validate()
 	if channels <= 0 {
 		panic("reliability: non-positive channel count")
 	}
-	events := 0
-	for ch := 0; ch < channels; ch++ {
-		arrivals := faultmodel.SampleArrivals(rng, p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears)
-		for i, first := range arrivals {
-			// The first fault is exposed until the end of its scrub
-			// interval.
-			detectAt := (float64(int(first.AtHours/p.ScrubHours)) + 1) * p.ScrubHours
-			for j := i + 1; j < len(arrivals); j++ {
-				second := arrivals[j]
-				if second.AtHours >= detectAt {
-					break
-				}
-				if threatens(p.Geom, first, second) && rng.Float64() < p.Geom.OverlapProb(first.Type, second.Type) {
-					events++
+	acc := mc.Run(mc.Job{
+		Trials: channels,
+		Seed:   seed,
+		NewAcc: func() mc.Accumulator { return &eventCount{} },
+		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+			ec := a.(*eventCount)
+			arrivals := faultmodel.SampleArrivals(rng, p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears)
+			for i, first := range arrivals {
+				// The first fault is exposed until the end of its scrub
+				// interval.
+				detectAt := (float64(int(first.AtHours/p.ScrubHours)) + 1) * p.ScrubHours
+				for j := i + 1; j < len(arrivals); j++ {
+					second := arrivals[j]
+					if second.AtHours >= detectAt {
+						break
+					}
+					if threatens(p.Geom, first, second) && rng.Float64() < p.Geom.OverlapProb(first.Type, second.Type) {
+						ec.events++
+					}
 				}
 			}
-		}
-	}
-	return events
+		},
+	}, opts)
+	return acc.(*eventCount).events
 }
 
 // threatens checks the placement conditions (same rank unless a lane fault,

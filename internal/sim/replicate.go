@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 
+	"arcc/internal/mc"
 	"arcc/internal/stats"
 )
 
@@ -16,19 +18,36 @@ type Replication struct {
 
 // RunReplicated executes cfg under runs different seeds (cfg.Seed+1 ..
 // cfg.Seed+runs) and reports mean and 95% confidence half-widths. The
-// experiments use it to put error bars on the headline numbers.
+// experiments use it to put error bars on the headline numbers. Runs are
+// fanned out across GOMAXPROCS workers; because each run is wholly
+// determined by its own seed, the aggregate is bit-identical to a serial
+// execution.
 func RunReplicated(cfg Config, runs int) Replication {
+	return RunReplicatedParallel(cfg, runs, 0)
+}
+
+// RunReplicatedParallel is RunReplicated with an explicit worker count
+// (<= 0 means GOMAXPROCS; 1 runs the replicas serially in-line).
+func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 	if runs < 2 {
 		panic(fmt.Sprintf("sim: RunReplicated needs at least 2 runs, got %d", runs))
 	}
+	// One replica per shard: a full simulator run is far too heavy to
+	// batch, and per-run seeding (not the shard stream) fixes each
+	// replica's randomness.
+	type rp struct{ ipc, power float64 }
+	results := mc.Map(runs, cfg.Seed, mc.Options{Parallelism: parallelism, ShardSize: 1},
+		func(_ *rand.Rand, i int) rp {
+			c := cfg
+			c.Seed = cfg.Seed + int64(i) + 1
+			r := Run(c)
+			return rp{ipc: r.IPCSum, power: r.PowerMW}
+		})
 	ipcs := make([]float64, runs)
 	powers := make([]float64, runs)
-	for i := 0; i < runs; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i) + 1
-		r := Run(c)
-		ipcs[i] = r.IPCSum
-		powers[i] = r.PowerMW
+	for i, r := range results {
+		ipcs[i] = r.ipc
+		powers[i] = r.power
 	}
 	return Replication{
 		Runs:      runs,

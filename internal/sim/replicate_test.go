@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 
 	"arcc/internal/workload"
@@ -22,6 +23,16 @@ func TestRunReplicated(t *testing.T) {
 	// tight relative to the mean.
 	if r.IPCCI95 > 0.2*r.IPCMean {
 		t.Fatalf("IPC CI %v too wide vs mean %v", r.IPCCI95, r.IPCMean)
+	}
+}
+
+func TestRunReplicatedDeterministicAcrossParallelism(t *testing.T) {
+	cfg := shortConfig(0, ARCC)
+	want := RunReplicatedParallel(cfg, 4, 1)
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		if got := RunReplicatedParallel(cfg, 4, par); got != want {
+			t.Fatalf("parallelism %d: %+v, want bit-identical %+v", par, got, want)
+		}
 	}
 }
 
