@@ -33,7 +33,10 @@ type Options struct {
 	Progress func(done, total int)
 }
 
-// mcOpts returns the engine options for channel-sharded Monte Carlo.
+// mcOpts returns the engine options for channel-sharded Monte Carlo. The
+// reliability sweeps behind the lifetime figures run on the engine's
+// per-shard scratch path: each shard reuses one fault-arrival buffer
+// across its trials, so the per-trial hot loop does not allocate.
 func (o Options) mcOpts() mc.Options {
 	return mc.Options{Parallelism: o.Parallel, Progress: o.Progress}
 }

@@ -9,7 +9,12 @@
 // polynomial arithmetic over GF(2^8) (see poly.go), which the Reed–Solomon
 // codec in package rs builds on. Multiplication and division are table
 // driven: a 255-entry exponential table and a 256-entry logarithm table are
-// built once at package initialisation.
+// built once at package initialisation, and a full 256x256 (64 KB)
+// multiplication table on top of them makes Mul a single unconditional
+// lookup. The rows of that table are exposed directly (MulRow) together
+// with bulk kernels over byte slices (MulSlice, MulAddSlice), which the
+// Reed–Solomon hot path — encoding, syndrome computation, Chien search —
+// is written against.
 package gf
 
 import "fmt"
@@ -28,8 +33,9 @@ const Order = 255
 type Elem = byte
 
 var (
-	expTable [2 * Order]Elem // expTable[i] = alpha^i, doubled to avoid mod in Mul
-	logTable [Size]byte      // logTable[x] = log_alpha(x); logTable[0] is unused
+	expTable [2 * Order]Elem  // expTable[i] = alpha^i, doubled to avoid mod in Mul
+	logTable [Size]byte       // logTable[x] = log_alpha(x); logTable[0] is unused
+	mulTable [Size][Size]Elem // mulTable[a][b] = a*b; row/col 0 stay zero
 )
 
 func init() {
@@ -48,6 +54,13 @@ func init() {
 		// primitive polynomial; anything else means Poly is not primitive.
 		panic(fmt.Sprintf("gf: %#x is not a primitive polynomial", Poly))
 	}
+	for a := 1; a < Size; a++ {
+		la := int(logTable[a])
+		row := &mulTable[a]
+		for b := 1; b < Size; b++ {
+			row[b] = expTable[la+int(logTable[b])]
+		}
+	}
 }
 
 // Add returns a + b in GF(2^8). Addition and subtraction coincide (XOR).
@@ -56,13 +69,8 @@ func Add(a, b Elem) Elem { return a ^ b }
 // Sub returns a - b in GF(2^8), identical to Add.
 func Sub(a, b Elem) Elem { return a ^ b }
 
-// Mul returns a * b in GF(2^8).
-func Mul(a, b Elem) Elem {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return expTable[int(logTable[a])+int(logTable[b])]
-}
+// Mul returns a * b in GF(2^8): a single unconditional table lookup.
+func Mul(a, b Elem) Elem { return mulTable[a][b] }
 
 // Div returns a / b in GF(2^8). Division by zero panics: it indicates a
 // decoder bug, not a runtime condition.

@@ -40,12 +40,7 @@ func PolyMul(a, b Polynomial) Polynomial {
 	}
 	out := make(Polynomial, len(a)+len(b)-1)
 	for i, ca := range a {
-		if ca == 0 {
-			continue
-		}
-		for j, cb := range b {
-			out[i+j] ^= Mul(ca, cb)
-		}
+		MulAddSlice(out[i:i+len(b)], b, ca)
 	}
 	return PolyTrim(out)
 }
@@ -53,17 +48,16 @@ func PolyMul(a, b Polynomial) Polynomial {
 // PolyScale returns p * c for a scalar c.
 func PolyScale(p Polynomial, c Elem) Polynomial {
 	out := make(Polynomial, len(p))
-	for i, v := range p {
-		out[i] = Mul(v, c)
-	}
+	MulSlice(out, p, c)
 	return PolyTrim(out)
 }
 
 // PolyEval evaluates p at x using Horner's rule.
 func PolyEval(p Polynomial, x Elem) Elem {
+	row := MulRow(x)
 	var acc Elem
 	for i := len(p) - 1; i >= 0; i-- {
-		acc = Mul(acc, x) ^ p[i]
+		acc = row[acc] ^ p[i]
 	}
 	return acc
 }

@@ -12,6 +12,11 @@
 // worker count — a job's result is bit-identical at any parallelism,
 // including the serial Parallelism=1 special case, which runs the shards
 // inline on the calling goroutine with no pool at all.
+//
+// Jobs whose trials need working buffers (fault-arrival histories, decode
+// workspaces) set NewScratch/TrialScratch: the engine creates one scratch
+// workspace per shard and threads it through the shard's trials, so the
+// steady-state trial loop allocates nothing.
 package mc
 
 import (
@@ -38,7 +43,8 @@ type Accumulator interface {
 	Merge(other Accumulator)
 }
 
-// Job describes one Monte Carlo computation.
+// Job describes one Monte Carlo computation. Exactly one of Trial and
+// TrialScratch must be set.
 type Job struct {
 	// Trials is the total number of trials to run. Must be positive.
 	Trials int
@@ -50,6 +56,18 @@ type Job struct {
 	// Trial runs trial number trial (0-based, global across shards) using
 	// the shard's rng and records its result in acc.
 	Trial func(rng *rand.Rand, trial int, acc Accumulator)
+	// NewScratch, optional, allocates a per-shard scratch workspace. It is
+	// created once per shard and handed to every TrialScratch call of that
+	// shard, so per-trial working buffers (fault-arrival histories, decode
+	// workspaces) are reused across the shard's trials instead of
+	// reallocated per trial. The scratch must not influence results —
+	// trials may not read state a previous trial left behind — so the
+	// engine's bit-identical-at-any-parallelism contract is preserved.
+	NewScratch func() any
+	// TrialScratch is Trial with the shard's scratch workspace. Set it
+	// (instead of Trial) together with NewScratch for allocation-free
+	// trial loops; scratch is nil when NewScratch is.
+	TrialScratch func(rng *rand.Rand, trial int, acc Accumulator, scratch any)
 }
 
 // Options tunes how a job executes without affecting its result.
@@ -89,8 +107,14 @@ func Run(job Job, opts Options) Accumulator {
 	if job.Trials <= 0 {
 		panic(fmt.Sprintf("mc: non-positive trial count %d", job.Trials))
 	}
-	if job.NewAcc == nil || job.Trial == nil {
-		panic("mc: job needs NewAcc and Trial")
+	if job.NewAcc == nil {
+		panic("mc: job needs NewAcc")
+	}
+	if (job.Trial == nil) == (job.TrialScratch == nil) {
+		panic("mc: job needs exactly one of Trial and TrialScratch")
+	}
+	if job.NewScratch != nil && job.TrialScratch == nil {
+		panic("mc: NewScratch requires TrialScratch")
 	}
 	size := opts.shardSize()
 	shards := (job.Trials + size - 1) / size
@@ -104,8 +128,18 @@ func Run(job Job, opts Options) Accumulator {
 		if hi > job.Trials {
 			hi = job.Trials
 		}
-		for t := lo; t < hi; t++ {
-			job.Trial(rng, t, acc)
+		if job.TrialScratch != nil {
+			var scratch any
+			if job.NewScratch != nil {
+				scratch = job.NewScratch()
+			}
+			for t := lo; t < hi; t++ {
+				job.TrialScratch(rng, t, acc, scratch)
+			}
+		} else {
+			for t := lo; t < hi; t++ {
+				job.Trial(rng, t, acc)
+			}
 		}
 		accs[s] = acc
 	}
@@ -218,10 +252,18 @@ func NewProgressPrinter(w io.Writer, label string) func(done, total int) {
 // independent value (e.g. one simulator run per seed). The per-trial rng
 // comes from the trial's shard stream as usual.
 func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial int) T) []T {
+	size := opts.shardSize()
+	if size > n {
+		size = n
+	}
 	acc := Run(Job{
 		Trials: n,
 		Seed:   seed,
-		NewAcc: func() Accumulator { return &mapAcc[T]{} },
+		// Pre-size each shard's buffers to the shard size, so the trial
+		// loop appends without regrowth.
+		NewAcc: func() Accumulator {
+			return &mapAcc[T]{idx: make([]int, 0, size), vals: make([]T, 0, size)}
+		},
 		Trial: func(rng *rand.Rand, trial int, a Accumulator) {
 			ma := a.(*mapAcc[T])
 			ma.idx = append(ma.idx, trial)

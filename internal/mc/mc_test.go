@@ -133,6 +133,89 @@ func TestMapOrdersResultsByTrial(t *testing.T) {
 	}
 }
 
+// scratchJob is sumJob on the scratch path: each trial writes then reads a
+// per-shard buffer, so a shared or missing scratch corrupts the sum.
+func scratchJob(trials int, seed int64) Job {
+	type buf struct{ vals []float64 }
+	return Job{
+		Trials: trials,
+		Seed:   seed,
+		NewAcc: func() Accumulator { return &sumAcc{} },
+		NewScratch: func() any {
+			return &buf{vals: make([]float64, 0, 8)}
+		},
+		TrialScratch: func(rng *rand.Rand, trial int, acc Accumulator, scratch any) {
+			a := acc.(*sumAcc)
+			b := scratch.(*buf)
+			b.vals = b.vals[:0]
+			for i := 0; i < 1+trial%4; i++ {
+				b.vals = append(b.vals, rng.Float64())
+			}
+			for _, v := range b.vals {
+				a.sum += v * float64(trial%7+1)
+			}
+			a.count++
+		},
+	}
+}
+
+func TestTrialScratchMatchesTrialAcrossParallelism(t *testing.T) {
+	want := Run(scratchJob(1000, 42), Options{Parallelism: 1}).(*sumAcc)
+	if want.sum == 0 {
+		t.Fatal("degenerate sum")
+	}
+	if want.count != 1000 {
+		t.Fatalf("ran %d trials, want 1000", want.count)
+	}
+	for _, par := range []int{1, 4, runtime.NumCPU(), 32} {
+		got := Run(scratchJob(1000, 42), Options{Parallelism: par}).(*sumAcc)
+		if got.sum != want.sum {
+			t.Errorf("parallelism %d: sum %v, want bit-identical %v", par, got.sum, want.sum)
+		}
+	}
+}
+
+func TestNewScratchCalledOncePerShard(t *testing.T) {
+	var mu sync.Mutex
+	created := 0
+	job := Job{
+		Trials: 100,
+		Seed:   1,
+		NewAcc: func() Accumulator { return &sumAcc{} },
+		NewScratch: func() any {
+			mu.Lock()
+			created++
+			mu.Unlock()
+			return new(int)
+		},
+		TrialScratch: func(_ *rand.Rand, _ int, acc Accumulator, scratch any) {
+			*(scratch.(*int))++ // panics if scratch were nil
+			acc.(*sumAcc).count++
+		},
+	}
+	Run(job, Options{Parallelism: 4, ShardSize: 10})
+	if created != 10 {
+		t.Fatalf("NewScratch called %d times, want once per shard (10)", created)
+	}
+}
+
+func TestTrialScratchWithoutNewScratchGetsNil(t *testing.T) {
+	job := Job{
+		Trials: 10,
+		Seed:   1,
+		NewAcc: func() Accumulator { return &sumAcc{} },
+		TrialScratch: func(_ *rand.Rand, _ int, acc Accumulator, scratch any) {
+			if scratch != nil {
+				t.Errorf("scratch = %v, want nil without NewScratch", scratch)
+			}
+			acc.(*sumAcc).count++
+		},
+	}
+	if acc := Run(job, Options{}).(*sumAcc); acc.count != 10 {
+		t.Fatalf("ran %d trials, want 10", acc.count)
+	}
+}
+
 func TestNewProgressPrinterResetsPerJob(t *testing.T) {
 	var buf strings.Builder
 	p := NewProgressPrinter(&buf, "job")
@@ -164,6 +247,12 @@ func TestRunPanicsOnBadJob(t *testing.T) {
 		"no trials": {Trials: 0, NewAcc: func() Accumulator { return &sumAcc{} }, Trial: func(*rand.Rand, int, Accumulator) {}},
 		"no newacc": {Trials: 1, Trial: func(*rand.Rand, int, Accumulator) {}},
 		"no trial":  {Trials: 1, NewAcc: func() Accumulator { return &sumAcc{} }},
+		"both trial fns": {Trials: 1, NewAcc: func() Accumulator { return &sumAcc{} },
+			Trial:        func(*rand.Rand, int, Accumulator) {},
+			TrialScratch: func(*rand.Rand, int, Accumulator, any) {}},
+		"scratch without trialscratch": {Trials: 1, NewAcc: func() Accumulator { return &sumAcc{} },
+			Trial:      func(*rand.Rand, int, Accumulator) {},
+			NewScratch: func() any { return nil }},
 	} {
 		func() {
 			defer func() {

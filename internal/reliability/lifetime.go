@@ -26,6 +26,23 @@ func (a *yearSums) Merge(other mc.Accumulator) {
 	}
 }
 
+// arrivalScratch is the per-shard workspace of the lifetime Monte Carlos:
+// one fault-arrival buffer, reused by every trial of a shard. The buffer
+// only carries capacity between trials — SampleArrivalsInto overwrites it
+// from scratch — so reuse cannot leak state across trials.
+type arrivalScratch struct {
+	buf []faultmodel.Arrival
+}
+
+// newArrivalScratch sizes the per-shard buffer for the channel geometry so
+// the steady state samples without reallocating.
+func newArrivalScratch(rates faultmodel.Rates, ranks, devicesPerRank int, years float64) func() any {
+	hint := faultmodel.ArrivalCapHint(rates, ranks, devicesPerRank, years)
+	return func() any {
+		return &arrivalScratch{buf: make([]faultmodel.Arrival, 0, hint)}
+	}
+}
+
 // FaultyPageFraction reproduces Fig 3.1: the average fraction of a
 // channel's 4 KB pages that has been affected by at least one fault, as a
 // function of operational lifespan, under the worst-case assumption that
@@ -39,12 +56,15 @@ func FaultyPageFraction(seed int64, opts mc.Options, rates faultmodel.Rates, sha
 		panic("reliability: invalid years/channels")
 	}
 	acc := mc.Run(mc.Job{
-		Trials: channels,
-		Seed:   seed,
-		NewAcc: newYearSums(years),
-		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+		Trials:     channels,
+		Seed:       seed,
+		NewAcc:     newYearSums(years),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years)),
+		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
-			arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+			scratch := sc.(*arrivalScratch)
+			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
+			scratch.buf = arrivals
 			// Union bound capped at 1: fault spans are large and disjointness
 			// dominates at these counts, so the cap only binds for multi-fault
 			// channels with lane faults.
@@ -90,12 +110,15 @@ func LifetimeOverhead(seed int64, opts mc.Options, rates faultmodel.Rates, ranks
 		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
 	}
 	acc := mc.Run(mc.Job{
-		Trials: channels,
-		Seed:   seed,
-		NewAcc: newYearSums(years),
-		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+		Trials:     channels,
+		Seed:       seed,
+		NewAcc:     newYearSums(years),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years)),
+		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
-			arrivals := faultmodel.SampleArrivals(rng, rates, ranks, devicesPerRank, float64(years))
+			scratch := sc.(*arrivalScratch)
+			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
+			scratch.buf = arrivals
 			// Build the overhead step function and integrate it.
 			integrated := 0.0 // overhead-hours accumulated so far
 			current := 0.0

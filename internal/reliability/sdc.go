@@ -149,12 +149,15 @@ func SimulateARCCDED(seed int64, opts mc.Options, p Params, channels int) int {
 		panic("reliability: non-positive channel count")
 	}
 	acc := mc.Run(mc.Job{
-		Trials: channels,
-		Seed:   seed,
-		NewAcc: func() mc.Accumulator { return &eventCount{} },
-		Trial: func(rng *rand.Rand, _ int, a mc.Accumulator) {
+		Trials:     channels,
+		Seed:       seed,
+		NewAcc:     func() mc.Accumulator { return &eventCount{} },
+		NewScratch: newArrivalScratch(p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears),
+		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			ec := a.(*eventCount)
-			arrivals := faultmodel.SampleArrivals(rng, p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears)
+			scratch := sc.(*arrivalScratch)
+			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears)
+			scratch.buf = arrivals
 			for i, first := range arrivals {
 				// The first fault is exposed until the end of its scrub
 				// interval.

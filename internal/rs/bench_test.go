@@ -1,0 +1,110 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The benchmarks below cover the codec hot path on the (36, 32) upgraded
+// code — the geometry every ARCC decode in the simulator uses. The
+// *Scratch variants are the steady-state path (zero allocations); the
+// plain variants measure the pooled allocating wrappers.
+
+func benchCodeword(b *testing.B, c *Code, flips ...int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cw := make([]byte, c.N())
+	rng.Read(cw[:c.K()])
+	c.EncodeInto(cw)
+	for i, pos := range flips {
+		cw[pos] ^= byte(0x5a + i)
+	}
+	return cw
+}
+
+func BenchmarkEncodeInto(b *testing.B) {
+	c := New(36, 32)
+	cw := benchCodeword(b, c)
+	b.SetBytes(int64(c.N()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(cw)
+	}
+}
+
+func BenchmarkSyndromes(b *testing.B) {
+	c := New(36, 32)
+	cw := benchCodeword(b, c)
+	syn := make([]byte, c.CheckSymbols())
+	b.SetBytes(int64(c.N()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromesInto(cw, syn)
+	}
+}
+
+func BenchmarkChienSearch(b *testing.B) {
+	// A degree-2 locator over the (36, 32) code: the search the 2-error
+	// decode performs.
+	c := New(36, 32)
+	cw := benchCodeword(b, c, 3, 17)
+	s := c.NewScratch()
+	syn := c.SyndromesInto(cw, s.syn)
+	sigma := berlekampMasseyInto(syn, s)
+	locator := append([]byte(nil), sigma...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		positions, _, _ := c.chienInto(locator, s)
+		if len(positions) != 2 {
+			b.Fatalf("found %d roots, want 2", len(positions))
+		}
+	}
+}
+
+func benchmarkDecodeScratch(b *testing.B, flips ...int) {
+	c := New(36, 32)
+	cw := benchCodeword(b, c, flips...)
+	s := c.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeScratch(cw, c.MaxCorrectable(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeScratchClean(b *testing.B) { benchmarkDecodeScratch(b) }
+func BenchmarkDecodeScratch1Err(b *testing.B)  { benchmarkDecodeScratch(b, 3) }
+func BenchmarkDecodeScratch2Err(b *testing.B)  { benchmarkDecodeScratch(b, 3, 17) }
+
+func BenchmarkDecode2Err(b *testing.B) {
+	// The allocating wrapper on the same workload as DecodeScratch2Err:
+	// the delta is the pooled-scratch detach copy.
+	c := New(36, 32)
+	cw := benchCodeword(b, c, 3, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeErasuresScratch(b *testing.B) {
+	c := New(36, 32)
+	cw := benchCodeword(b, c, 3, 17, 30)
+	s := c.NewScratch()
+	erasures := []int{3, 17, 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeErrorsErasuresScratch(cw, erasures, 0, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

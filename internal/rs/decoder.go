@@ -1,19 +1,29 @@
 package rs
 
-import (
-	"fmt"
-
-	"arcc/internal/gf"
-)
-
 // Result reports the outcome of a successful decode.
 type Result struct {
-	// Corrected is the repaired codeword (a fresh slice, even when no
-	// correction was needed).
+	// Corrected is the repaired codeword. The allocating entry points
+	// (Decode, DecodeBounded, DecodeErasures, DecodeErrorsErasures) return
+	// a fresh slice, even when no correction was needed; the Scratch entry
+	// points return a slice aliasing the workspace.
 	Corrected []byte
 	// ErrorPositions lists the codeword positions (0-based, data-first) at
 	// which symbols were corrected, in increasing order.
 	ErrorPositions []int
+}
+
+// detach copies the result's slices out of a Scratch so it survives the
+// scratch's reuse.
+func (r Result) detach() Result {
+	if r.Corrected != nil {
+		r.Corrected = append([]byte(nil), r.Corrected...)
+	}
+	if len(r.ErrorPositions) > 0 {
+		r.ErrorPositions = append([]int(nil), r.ErrorPositions...)
+	} else {
+		r.ErrorPositions = nil
+	}
+	return r
 }
 
 // Decode corrects up to MaxCorrectable symbol errors in cw. It returns
@@ -28,46 +38,16 @@ func (c *Code) Decode(cw []byte) (Result, error) {
 // policy: commercial SCCDCD decodes its 4-check-symbol code with a bound of
 // one error so that the residual check capacity guarantees detection of a
 // second bad symbol.
+//
+// It is a thin wrapper over DecodeScratch with a pooled workspace; callers
+// on the hot path should hold their own Scratch and call DecodeScratch to
+// avoid the result copy.
 func (c *Code) DecodeBounded(cw []byte, maxErrors int) (Result, error) {
-	if len(cw) != c.n {
-		panic(fmt.Sprintf("rs: Decode called with %d symbols, want %d", len(cw), c.n))
-	}
-	if maxErrors < 0 || maxErrors > c.MaxCorrectable() {
-		panic(fmt.Sprintf("rs: maxErrors %d out of range [0, %d]", maxErrors, c.MaxCorrectable()))
-	}
-	out := make([]byte, c.n)
-	copy(out, cw)
-
-	syn := c.Syndromes(cw)
-	if allZero(syn) {
-		return Result{Corrected: out}, nil
-	}
-	if maxErrors == 0 {
-		return Result{}, ErrUncorrectable
-	}
-
-	sigma := berlekampMassey(syn)
-	deg := gf.PolyDegree(sigma)
-	if deg < 1 || deg > maxErrors {
-		return Result{}, ErrUncorrectable
-	}
-	positions, roots := c.chienSearch(sigma)
-	if len(positions) != deg {
-		// The locator polynomial does not split into distinct roots inside
-		// the codeword: more errors than the code can locate.
-		return Result{}, ErrUncorrectable
-	}
-	magnitudes := c.forney(syn, sigma, roots)
-	for i, pos := range positions {
-		if magnitudes[i] == 0 {
-			return Result{}, ErrUncorrectable
-		}
-		out[pos] ^= magnitudes[i]
-	}
-	if !c.Check(out) {
-		return Result{}, ErrUncorrectable
-	}
-	return Result{Corrected: out, ErrorPositions: positions}, nil
+	s := c.scratch.Get().(*Scratch)
+	res, err := c.DecodeScratch(cw, maxErrors, s)
+	res = res.detach()
+	c.scratch.Put(s)
+	return res, err
 }
 
 // DecodeErasures corrects symbols at the given known-bad positions
@@ -81,163 +61,15 @@ func (c *Code) DecodeErasures(cw []byte, erasures []int) (Result, error) {
 // DecodeErrorsErasures corrects the erased positions and additionally up to
 // maxErrors unknown-position errors, subject to the distance bound
 // 2*errors + erasures <= N-K. The input is not modified.
+//
+// It is a thin wrapper over DecodeErrorsErasuresScratch with a pooled
+// workspace, exactly as DecodeBounded wraps DecodeScratch.
 func (c *Code) DecodeErrorsErasures(cw []byte, erasures []int, maxErrors int) (Result, error) {
-	if len(cw) != c.n {
-		panic(fmt.Sprintf("rs: Decode called with %d symbols, want %d", len(cw), c.n))
-	}
-	nk := c.n - c.k
-	if len(erasures) > nk {
-		return Result{}, ErrUncorrectable
-	}
-	if maxErrors < 0 || 2*maxErrors+len(erasures) > nk {
-		panic(fmt.Sprintf("rs: 2*%d errors + %d erasures exceeds %d check symbols", maxErrors, len(erasures), nk))
-	}
-	seen := make(map[int]bool, len(erasures))
-	for _, p := range erasures {
-		if p < 0 || p >= c.n {
-			panic(fmt.Sprintf("rs: erasure position %d out of range [0, %d)", p, c.n))
-		}
-		if seen[p] {
-			panic(fmt.Sprintf("rs: duplicate erasure position %d", p))
-		}
-		seen[p] = true
-	}
-	out := make([]byte, c.n)
-	copy(out, cw)
-
-	syn := c.Syndromes(cw)
-	if allZero(syn) {
-		return Result{Corrected: out}, nil
-	}
-
-	// Erasure locator Gamma(x) = prod over erasures of (1 + X_j x), where
-	// X_j = alpha^(n-1-pos) is the locator of codeword position pos.
-	gamma := gf.Polynomial{1}
-	for _, pos := range erasures {
-		x := gf.Exp(c.n - 1 - pos)
-		gamma = gf.PolyMul(gamma, gf.Polynomial{1, x})
-	}
-
-	// Modified syndromes Xi(x) = [S(x) * Gamma(x)] mod x^(n-k).
-	sPoly := gf.Polynomial(syn)
-	xi := gf.PolyMul(sPoly, gamma)
-	if len(xi) > nk {
-		xi = xi[:nk]
-	}
-	modSyn := make([]byte, nk)
-	copy(modSyn, xi)
-
-	// With e erasures, only the modified syndromes at indices e..nk-1 obey
-	// the error-locator LFSR recurrence, so Berlekamp–Massey runs on that
-	// suffix (capacity floor((nk-e)/2) unknown errors).
-	sigma := gf.Polynomial{1}
-	if maxErrors > 0 {
-		sigma = berlekampMassey(modSyn[len(erasures):])
-		if gf.PolyDegree(sigma) > maxErrors {
-			return Result{}, ErrUncorrectable
-		}
-	} else if !allZero(modSyn) && len(erasures) == 0 {
-		return Result{}, ErrUncorrectable
-	}
-
-	// Combined locator Psi(x) = Sigma(x) * Gamma(x); its roots cover both
-	// unknown error positions and erased positions.
-	psi := gf.PolyMul(sigma, gamma)
-	positions, roots := c.chienSearch(psi)
-	if len(positions) != gf.PolyDegree(psi) {
-		return Result{}, ErrUncorrectable
-	}
-	magnitudes := c.forney(syn, psi, roots)
-	for i, pos := range positions {
-		out[pos] ^= magnitudes[i]
-	}
-	if !c.Check(out) {
-		return Result{}, ErrUncorrectable
-	}
-	var corrected []int
-	for i, pos := range positions {
-		if magnitudes[i] != 0 {
-			corrected = append(corrected, pos)
-		}
-	}
-	return Result{Corrected: out, ErrorPositions: corrected}, nil
-}
-
-// berlekampMassey finds the minimal error-locator polynomial sigma(x) with
-// sigma(0) = 1 for the given syndrome sequence.
-func berlekampMassey(syn []byte) gf.Polynomial {
-	sigma := gf.Polynomial{1}
-	prev := gf.Polynomial{1}
-	var l, m int = 0, 1
-	var b byte = 1
-	for n := 0; n < len(syn); n++ {
-		// Discrepancy d = S_n + sum_{i=1..l} sigma_i * S_{n-i}.
-		d := syn[n]
-		for i := 1; i <= l && i < len(sigma); i++ {
-			d ^= gf.Mul(sigma[i], syn[n-i])
-		}
-		if d == 0 {
-			m++
-			continue
-		}
-		coef := gf.Mul(d, gf.Inv(b))
-		// t(x) = sigma(x) - coef * x^m * prev(x)
-		shifted := make(gf.Polynomial, m+len(prev))
-		for i, v := range prev {
-			shifted[m+i] = gf.Mul(coef, v)
-		}
-		t := gf.PolyAdd(sigma, shifted)
-		if 2*l <= n {
-			l = n + 1 - l
-			prev = sigma
-			b = d
-			m = 1
-		} else {
-			m++
-		}
-		sigma = t
-	}
-	return sigma
-}
-
-// chienSearch finds codeword positions whose locators are roots of the
-// locator polynomial. It returns the positions in increasing order together
-// with the corresponding locator values X_j.
-func (c *Code) chienSearch(locator gf.Polynomial) (positions []int, roots []byte) {
-	for pos := 0; pos < c.n; pos++ {
-		x := gf.Exp(c.n - 1 - pos) // locator of position pos
-		if gf.PolyEval(locator, gf.Inv(x)) == 0 {
-			positions = append(positions, pos)
-			roots = append(roots, x)
-		}
-	}
-	return positions, roots
-}
-
-// forney computes error magnitudes for the located errors using the Forney
-// algorithm with first consecutive root alpha^0.
-func (c *Code) forney(syn []byte, locator gf.Polynomial, roots []byte) []byte {
-	nk := c.n - c.k
-	omega := gf.PolyMul(gf.Polynomial(syn), locator)
-	if len(omega) > nk {
-		omega = omega[:nk]
-	}
-	omega = gf.PolyTrim(omega)
-	deriv := gf.PolyDeriv(locator)
-	mags := make([]byte, len(roots))
-	for i, x := range roots {
-		xInv := gf.Inv(x)
-		den := gf.PolyEval(deriv, xInv)
-		if den == 0 {
-			// Repeated root: the locator is degenerate; magnitude 0 will
-			// force the caller's consistency check to fail.
-			continue
-		}
-		num := gf.PolyEval(omega, xInv)
-		// e_j = X_j^(1-b) * Omega(X_j^-1) / Lambda'(X_j^-1), with b = 0.
-		mags[i] = gf.Mul(x, gf.Div(num, den))
-	}
-	return mags
+	s := c.scratch.Get().(*Scratch)
+	res, err := c.DecodeErrorsErasuresScratch(cw, erasures, maxErrors, s)
+	res = res.detach()
+	c.scratch.Put(s)
+	return res, err
 }
 
 func allZero(b []byte) bool {

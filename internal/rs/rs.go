@@ -16,11 +16,19 @@
 // pages (2 check symbols: single symbol correct OR single symbol detect,
 // depending on decode policy) and (36, 32) for upgraded pages (4 check
 // symbols: single correct + double detect as in commercial SCCDCD).
+//
+// The hot path is allocation-free: New precomputes multiplication-table
+// rows for the generator coefficients, the syndrome evaluation points, and
+// the Chien stepping constants, and a reusable Scratch workspace (see
+// NewScratch/DecodeScratch) holds every buffer a decode needs. The plain
+// Decode/DecodeErasures entry points are thin wrappers that borrow a
+// pooled Scratch and copy the result out.
 package rs
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"arcc/internal/gf"
 )
@@ -35,6 +43,24 @@ var ErrUncorrectable = errors.New("rs: detected uncorrectable error")
 type Code struct {
 	n, k int
 	gen  gf.Polynomial // generator polynomial, degree n-k
+
+	// encRows[j] is the multiplication row of gen[n-k-1-j]: the feedback
+	// taps of the systematic encoder, highest coefficient first, so the
+	// encode inner loop is rem[j] ^= encRows[j][factor].
+	encRows []*[gf.Size]byte
+	// synRows[i] is the multiplication row of alpha^i, the Horner step of
+	// syndrome S_i.
+	synRows []*[gf.Size]byte
+	// stepRows[i] is the multiplication row of alpha^i, used by the
+	// incremental Chien search to step term i from one codeword position to
+	// the next (indices 0..n-k, the maximum locator degree).
+	stepRows []*[gf.Size]byte
+	// chienInit[i] = alpha^(-(n-1)*i): term i's multiplier at the Chien
+	// search's first query point, the locator inverse of position 0.
+	chienInit []byte
+
+	// scratch pools Scratch workspaces for the allocating Decode wrappers.
+	scratch sync.Pool
 }
 
 // New constructs an (n, k) code. It panics if the parameters are outside
@@ -48,7 +74,22 @@ func New(n, k int) *Code {
 	for i := 0; i < n-k; i++ {
 		gen = gf.PolyMul(gen, gf.Polynomial{gf.Exp(i), 1})
 	}
-	return &Code{n: n, k: k, gen: gen}
+	c := &Code{n: n, k: k, gen: gen}
+	nk := n - k
+	c.encRows = make([]*[gf.Size]byte, nk)
+	c.synRows = make([]*[gf.Size]byte, nk)
+	for j := 0; j < nk; j++ {
+		c.encRows[j] = gf.MulRow(gen[nk-1-j])
+		c.synRows[j] = gf.MulRow(gf.Exp(j))
+	}
+	c.stepRows = make([]*[gf.Size]byte, nk+1)
+	c.chienInit = make([]byte, nk+1)
+	for i := 0; i <= nk; i++ {
+		c.stepRows[i] = gf.MulRow(gf.Exp(i))
+		c.chienInit[i] = gf.Exp(-(n - 1) * i)
+	}
+	c.scratch.New = func() any { return c.NewScratch() }
+	return c
 }
 
 // N returns the codeword length in symbols.
@@ -77,7 +118,7 @@ func (c *Code) Encode(data []byte) []byte {
 }
 
 // EncodeInto recomputes the check symbols of cw (length N) in place from its
-// first K data symbols.
+// first K data symbols. It performs no heap allocations.
 func (c *Code) EncodeInto(cw []byte) {
 	if len(cw) != c.n {
 		panic(fmt.Sprintf("rs: EncodeInto called with %d symbols, want %d", len(cw), c.n))
@@ -86,51 +127,82 @@ func (c *Code) EncodeInto(cw []byte) {
 	// data(x) * x^(n-k) divided by g(x). The message polynomial places
 	// data[0] (codeword position 0) at the highest power, so the codeword
 	// read as a polynomial is cw[0]*x^(n-1) + ... + cw[n-1]*x^0 and has the
-	// generator's roots alpha^0..alpha^(n-k-1).
+	// generator's roots alpha^0..alpha^(n-k-1). The generator is monic, so
+	// the division step is a table-row lookup per tap.
 	nk := c.n - c.k
-	rem := make([]byte, nk)
-	lead := c.gen[nk] // == 1, generator is monic
-	_ = lead
+	var remBuf [gf.Order]byte
+	rem := remBuf[:nk]
 	for i := 0; i < c.k; i++ {
 		factor := cw[i] ^ rem[0]
 		copy(rem, rem[1:])
 		rem[nk-1] = 0
 		if factor != 0 {
-			for j := 0; j < nk; j++ {
-				// gen coefficients from highest-1 down to 0.
-				rem[j] ^= gf.Mul(factor, c.gen[nk-1-j])
+			for j, row := range c.encRows {
+				rem[j] ^= row[factor]
 			}
 		}
 	}
 	copy(cw[c.k:], rem)
 }
 
-// Syndromes computes the N-K syndromes of cw. All zero syndromes mean the
-// codeword is consistent (either error-free, or an undetectable error
-// pattern that aliases to another valid codeword).
+// Syndromes computes the N-K syndromes of cw in a fresh slice. All zero
+// syndromes mean the codeword is consistent (either error-free, or an
+// undetectable error pattern that aliases to another valid codeword).
 func (c *Code) Syndromes(cw []byte) []byte {
+	return c.SyndromesInto(cw, make([]byte, c.n-c.k))
+}
+
+// SyndromesInto computes the N-K syndromes of cw into syn, which must have
+// length N-K, and returns syn. It performs no heap allocations.
+func (c *Code) SyndromesInto(cw, syn []byte) []byte {
 	if len(cw) != c.n {
 		panic(fmt.Sprintf("rs: Syndromes called with %d symbols, want %d", len(cw), c.n))
 	}
-	syn := make([]byte, c.n-c.k)
-	for i := range syn {
-		// S_i = cw(alpha^i) with cw[0] the highest-power coefficient.
-		var s byte
-		x := gf.Exp(i)
+	if len(syn) != c.n-c.k {
+		panic(fmt.Sprintf("rs: SyndromesInto called with a %d-symbol buffer, want %d", len(syn), c.n-c.k))
+	}
+	// S_i = cw(alpha^i) with cw[0] the highest-power coefficient: Horner's
+	// rule, one row lookup per symbol. All N-K Horner chains run
+	// interleaved in a single pass over the codeword, so the chains'
+	// serial lookup latencies overlap. S_0 evaluates at alpha^0 = 1 and is
+	// a plain XOR of the symbols. The 2- and 4-check-symbol unrollings
+	// cover the two geometries the ARCC evaluation decodes on every access.
+	switch len(syn) {
+	case 2:
+		r1 := c.synRows[1]
+		var s0, s1 byte
 		for _, v := range cw {
-			s = gf.Mul(s, x) ^ v
+			s0 ^= v
+			s1 = r1[s1] ^ v
 		}
-		syn[i] = s
+		syn[0], syn[1] = s0, s1
+	case 4:
+		r1, r2, r3 := c.synRows[1], c.synRows[2], c.synRows[3]
+		var s0, s1, s2, s3 byte
+		for _, v := range cw {
+			s0 ^= v
+			s1 = r1[s1] ^ v
+			s2 = r2[s2] ^ v
+			s3 = r3[s3] ^ v
+		}
+		syn[0], syn[1], syn[2], syn[3] = s0, s1, s2, s3
+	default:
+		for i := range syn {
+			syn[i] = 0
+		}
+		for _, v := range cw {
+			syn[0] ^= v
+			for i := 1; i < len(syn); i++ {
+				syn[i] = c.synRows[i][syn[i]] ^ v
+			}
+		}
 	}
 	return syn
 }
 
 // Check reports whether cw is a consistent codeword (all syndromes zero).
+// It performs no heap allocations.
 func (c *Code) Check(cw []byte) bool {
-	for _, s := range c.Syndromes(cw) {
-		if s != 0 {
-			return false
-		}
-	}
-	return true
+	var buf [gf.Order]byte
+	return allZero(c.SyndromesInto(cw, buf[:c.n-c.k]))
 }

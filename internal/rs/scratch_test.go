@@ -1,0 +1,213 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeScratchMatchesWrappers drives the scratch and allocating entry
+// points over the same randomized error patterns — clean words, correctable
+// errors, uncorrectable garbage — with one long-lived Scratch, proving that
+// workspace reuse never leaks state between decodes.
+func TestDecodeScratchMatchesWrappers(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for _, c := range codesUnderTest() {
+		s := c.NewScratch()
+		for trial := 0; trial < 500; trial++ {
+			cw := c.Encode(randData(r, c.K()))
+			bad := make([]byte, len(cw))
+			copy(bad, cw)
+			// 0..N-K+1 errors: from clean through correctable to beyond.
+			errs := r.Intn(c.CheckSymbols() + 2)
+			for _, p := range r.Perm(c.N())[:errs] {
+				bad[p] ^= byte(1 + r.Intn(255))
+			}
+			maxErrors := r.Intn(c.MaxCorrectable() + 1)
+
+			want, wantErr := c.DecodeBounded(bad, maxErrors)
+			got, gotErr := c.DecodeScratch(bad, maxErrors, s)
+			if wantErr != gotErr {
+				t.Fatalf("(%d,%d) trial %d: scratch err %v, wrapper err %v", c.N(), c.K(), trial, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !bytes.Equal(got.Corrected, want.Corrected) {
+				t.Fatalf("(%d,%d) trial %d: scratch corrected disagrees with wrapper", c.N(), c.K(), trial)
+			}
+			if len(got.ErrorPositions) != len(want.ErrorPositions) {
+				t.Fatalf("(%d,%d) trial %d: positions %v vs %v", c.N(), c.K(), trial, got.ErrorPositions, want.ErrorPositions)
+			}
+			for i := range got.ErrorPositions {
+				if got.ErrorPositions[i] != want.ErrorPositions[i] {
+					t.Fatalf("(%d,%d) trial %d: positions %v vs %v", c.N(), c.K(), trial, got.ErrorPositions, want.ErrorPositions)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeErrorsErasuresScratchMatchesWrapper is the erasure-path twin of
+// the test above, interleaving erasure decodes with error decodes on the
+// same Scratch.
+func TestDecodeErrorsErasuresScratchMatchesWrapper(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, c := range codesUnderTest() {
+		s := c.NewScratch()
+		nk := c.CheckSymbols()
+		for trial := 0; trial < 500; trial++ {
+			cw := c.Encode(randData(r, c.K()))
+			bad := make([]byte, len(cw))
+			copy(bad, cw)
+			numErase := r.Intn(nk + 1)
+			perm := r.Perm(c.N())
+			erasures := perm[:numErase]
+			maxErrors := r.Intn((nk-numErase)/2 + 1)
+			// Corrupt some erased positions and maybe extra ones.
+			for _, p := range erasures {
+				if r.Intn(2) == 0 {
+					bad[p] ^= byte(1 + r.Intn(255))
+				}
+			}
+			extra := r.Intn(maxErrors + 2) // occasionally beyond capacity
+			for _, p := range perm[numErase : numErase+extra] {
+				bad[p] ^= byte(1 + r.Intn(255))
+			}
+
+			want, wantErr := c.DecodeErrorsErasures(bad, erasures, maxErrors)
+			got, gotErr := c.DecodeErrorsErasuresScratch(bad, erasures, maxErrors, s)
+			if wantErr != gotErr {
+				t.Fatalf("(%d,%d) trial %d: scratch err %v, wrapper err %v", c.N(), c.K(), trial, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				// Interleave an error-only decode to stress scratch reuse.
+				c.DecodeScratch(cw, c.MaxCorrectable(), s)
+				continue
+			}
+			if !bytes.Equal(got.Corrected, want.Corrected) {
+				t.Fatalf("(%d,%d) trial %d: scratch corrected disagrees with wrapper", c.N(), c.K(), trial)
+			}
+		}
+	}
+}
+
+// TestErasureOnlyDecodeDetectsExcessErrors pins the erasure-only policy
+// (maxErrors == 0, as DecodeErasures uses): a codeword carrying errors
+// beyond the erased positions has nonzero modified syndromes past the
+// erasure count and must come back ErrUncorrectable — never a silent
+// miscorrection presented as success.
+func TestErasureOnlyDecodeDetectsExcessErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, c := range codesUnderTest() {
+		nk := c.CheckSymbols()
+		for numErase := 1; numErase < nk; numErase++ {
+			for trial := 0; trial < 200; trial++ {
+				cw := c.Encode(randData(r, c.K()))
+				bad := make([]byte, len(cw))
+				copy(bad, cw)
+				perm := r.Perm(c.N())
+				erasures := perm[:numErase]
+				for _, p := range erasures {
+					bad[p] ^= byte(1 + r.Intn(255))
+				}
+				// One extra error the erasure list does not cover.
+				bad[perm[numErase]] ^= byte(1 + r.Intn(255))
+
+				res, err := c.DecodeErrorsErasures(bad, erasures, 0)
+				if err == nil && bytes.Equal(res.Corrected, cw) {
+					t.Fatalf("(%d,%d) %d erasures + 1 error: erasure-only decode claimed the original codeword", c.N(), c.K(), numErase)
+				}
+				if err != ErrUncorrectable {
+					t.Fatalf("(%d,%d) %d erasures + 1 error: err = %v, want ErrUncorrectable", c.N(), c.K(), numErase, err)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchEntryPointsZeroAllocations is the allocation regression
+// contract of this package: the steady-state codec path must not touch the
+// heap.
+func TestScratchEntryPointsZeroAllocations(t *testing.T) {
+	c := New(36, 32)
+	r := rand.New(rand.NewSource(23))
+	cw := c.Encode(randData(r, c.K()))
+	oneErr := append([]byte(nil), cw...)
+	oneErr[5] ^= 0x21
+	twoErr := append([]byte(nil), cw...)
+	twoErr[3] ^= 0x5a
+	twoErr[17] ^= 0xc3
+	s := c.NewScratch()
+	syn := make([]byte, c.CheckSymbols())
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"EncodeInto", func() { c.EncodeInto(cw) }},
+		{"SyndromesInto", func() { c.SyndromesInto(cw, syn) }},
+		{"DecodeScratch/clean", func() {
+			if _, err := c.DecodeScratch(cw, 2, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"DecodeScratch/1err", func() {
+			if _, err := c.DecodeScratch(oneErr, 2, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"DecodeScratch/2err", func() {
+			if _, err := c.DecodeScratch(twoErr, 2, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"DecodeErrorsErasuresScratch", func() {
+			if _, err := c.DecodeErrorsErasuresScratch(twoErr, []int{3, 17}, 1, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc.f() // warm up (first use may grow nothing, but keep it uniform)
+		if allocs := testing.AllocsPerRun(100, tc.f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestScratchResultAliasing documents the Scratch ownership contract: the
+// Result of a scratch decode is overwritten by the next decode on the same
+// workspace, while the allocating wrappers return stable copies.
+func TestScratchResultAliasing(t *testing.T) {
+	c := New(36, 32)
+	r := rand.New(rand.NewSource(24))
+	cwA := c.Encode(randData(r, c.K()))
+	cwB := c.Encode(randData(r, c.K()))
+	s := c.NewScratch()
+
+	resA, err := c.DecodeScratch(cwA, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resA.Corrected, cwA) {
+		t.Fatal("first scratch decode wrong")
+	}
+	if _, err := c.DecodeScratch(cwB, 2, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resA.Corrected, cwB) {
+		t.Fatal("scratch result did not alias the workspace; update the contract docs")
+	}
+
+	stable, err := c.Decode(cwA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(cwB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable.Corrected, cwA) {
+		t.Fatal("allocating wrapper result was clobbered by a later decode")
+	}
+}

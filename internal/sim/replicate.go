@@ -34,7 +34,10 @@ func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 	}
 	// One replica per shard: a full simulator run is far too heavy to
 	// batch, and per-run seeding (not the shard stream) fixes each
-	// replica's randomness.
+	// replica's randomness. A whole-run replica has no per-trial working
+	// buffers to carry in a shard scratch — each Run builds its own world —
+	// so this fan-out rides mc.Map's presized result collection rather
+	// than the NewScratch/TrialScratch path the lifetime Monte Carlos use.
 	type rp struct{ ipc, power float64 }
 	results := mc.Map(runs, cfg.Seed, mc.Options{Parallelism: parallelism, ShardSize: 1},
 		func(_ *rand.Rand, i int) rp {
