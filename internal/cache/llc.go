@@ -6,7 +6,10 @@
 // so one sub-line's reuse keeps both resident.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Line address convention: a cacheline is identified by its 64 B line index
 // (byte address / 64). The partner sub-line of an upgraded line at address a
@@ -48,6 +51,7 @@ type way struct {
 type LLC struct {
 	sets     [][]way
 	numSets  uint64
+	tagShift uint // log2(numSets); addr = tag<<tagShift | setIndex
 	assoc    int
 	policy   Policy
 	clock    int64
@@ -78,20 +82,28 @@ func New(sizeBytes, assoc int, policy Policy) *LLC {
 	for i := range sets {
 		sets[i], backing = backing[:assoc], backing[assoc:]
 	}
-	return &LLC{sets: sets, numSets: uint64(numSets), assoc: assoc, policy: policy}
+	return &LLC{
+		sets:     sets,
+		numSets:  uint64(numSets),
+		tagShift: uint(bits.TrailingZeros64(uint64(numSets))),
+		assoc:    assoc,
+		policy:   policy,
+	}
+}
+
+// Reset returns the cache to its post-New state — empty, counters zeroed —
+// reusing the backing arrays. sim.Scratch resets rather than reallocates the
+// LLCs between simulator runs.
+func (c *LLC) Reset() {
+	for _, set := range c.sets {
+		clear(set)
+	}
+	c.clock, c.tagReads = 0, 0
+	c.hits, c.misses, c.writebacks = 0, 0, 0
 }
 
 func (c *LLC) setIndex(addr uint64) uint64 { return addr & (c.numSets - 1) }
-func (c *LLC) tagOf(addr uint64) uint64    { return addr >> uint(trailingZeros(c.numSets)) }
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x > 1 {
-		x >>= 1
-		n++
-	}
-	return n
-}
+func (c *LLC) tagOf(addr uint64) uint64    { return addr >> c.tagShift }
 
 func (c *LLC) find(addr uint64) *way {
 	set := c.sets[c.setIndex(addr)]
@@ -135,36 +147,46 @@ func (c *LLC) Contains(addr uint64) bool {
 
 // Insert fills addr after a miss. For upgraded lines both sub-lines
 // (addr&^1 and addr|1) are inserted — the memory returned the whole 128 B
-// line. Returns the evictions this caused. write marks the *requested*
-// line dirty.
+// line. Returns the evictions this caused in a fresh slice (nil when none).
+// write marks the *requested* line dirty.
+//
+// Insert is a compatibility wrapper over InsertInto; hot callers should
+// pass their own eviction scratch to InsertInto instead.
 func (c *LLC) Insert(addr uint64, upgraded, write bool) []Eviction {
-	c.clock++
-	if !upgraded {
-		return c.insertOne(addr, false, write)
-	}
-	var evictions []Eviction
-	lo, hi := addr&^uint64(1), addr|1
-	evictions = append(evictions, c.insertOne(lo, true, write && addr == lo)...)
-	evictions = append(evictions, c.insertOne(hi, true, write && addr == hi)...)
-	return evictions
+	return c.InsertInto(addr, upgraded, write, nil)
 }
 
-func (c *LLC) insertOne(addr uint64, upgraded, dirty bool) []Eviction {
+// InsertInto is Insert with a caller-owned eviction buffer: the evictions
+// (at most three: a victim plus an upgraded victim's partner per sub-line
+// inserted) are appended to evs and the extended slice is returned. Passing
+// a scratch slice with spare capacity makes a steady-state miss path
+// allocation-free.
+func (c *LLC) InsertInto(addr uint64, upgraded, write bool, evs []Eviction) []Eviction {
+	c.clock++
+	if !upgraded {
+		return c.insertOne(addr, false, write, evs)
+	}
+	lo, hi := addr&^uint64(1), addr|1
+	evs = c.insertOne(lo, true, write && addr == lo, evs)
+	evs = c.insertOne(hi, true, write && addr == hi, evs)
+	return evs
+}
+
+func (c *LLC) insertOne(addr uint64, upgraded, dirty bool, evs []Eviction) []Eviction {
 	if w := c.find(addr); w != nil {
 		// Already resident (e.g. partner was brought in earlier).
 		w.lastUse = c.clock
 		w.upgraded = w.upgraded || upgraded
 		w.dirty = w.dirty || dirty
-		return nil
+		return evs
 	}
 	set := c.sets[c.setIndex(addr)]
 	victim := c.pickVictim(addr, set)
-	var evictions []Eviction
 	if victim.valid {
-		evictions = c.evict(victim, c.setIndex(addr))
+		evs = c.evict(victim, c.setIndex(addr), evs)
 	}
 	*victim = way{tag: c.tagOf(addr), valid: true, dirty: dirty, upgraded: upgraded, lastUse: c.clock}
-	return evictions
+	return evs
 }
 
 // pickVictim selects the LRU way. Under SharedRecency, a sub-line of an
@@ -201,7 +223,7 @@ func (c *LLC) pickVictim(addr uint64, set []way) *way {
 // partnerOf finds the partner sub-line of w (which lives in the adjacent
 // set with the same tag), or nil if it is not resident.
 func (c *LLC) partnerOf(w *way, setIdx uint64) *way {
-	addr := w.tag<<uint(trailingZeros(c.numSets)) | setIdx
+	addr := w.tag<<c.tagShift | setIdx
 	partner := addr ^ 1
 	set := c.sets[c.setIndex(partner)]
 	tag := c.tagOf(partner)
@@ -214,26 +236,25 @@ func (c *LLC) partnerOf(w *way, setIdx uint64) *way {
 }
 
 // evict removes w and, for upgraded sub-lines, also removes the partner so
-// both halves write back together.
-func (c *LLC) evict(w *way, setIdx uint64) []Eviction {
-	addr := w.tag<<uint(trailingZeros(c.numSets)) | setIdx
-	ev := Eviction{Addr: addr, Dirty: w.dirty, Upgraded: w.upgraded}
+// both halves write back together. The evictions are appended to evs.
+func (c *LLC) evict(w *way, setIdx uint64, evs []Eviction) []Eviction {
+	addr := w.tag<<c.tagShift | setIdx
 	if !w.upgraded {
 		if w.dirty {
 			c.writebacks++
 		}
 		w.valid = false
-		return []Eviction{ev}
+		return append(evs, Eviction{Addr: addr, Dirty: w.dirty})
 	}
 	partnerAddr := addr ^ 1
-	ev.PairedWith = partnerAddr
-	out := []Eviction{ev}
+	base := len(evs)
+	evs = append(evs, Eviction{Addr: addr, Dirty: w.dirty, Upgraded: true, PairedWith: partnerAddr})
 	if p := c.partnerOf(w, setIdx); p != nil {
 		// Either sub-line dirty forces the pair to write back together.
-		out = append(out, Eviction{Addr: partnerAddr, Dirty: p.dirty, Upgraded: true, PairedWith: addr})
+		evs = append(evs, Eviction{Addr: partnerAddr, Dirty: p.dirty, Upgraded: true, PairedWith: addr})
 		if w.dirty || p.dirty {
-			out[0].Dirty = true
-			out[1].Dirty = true
+			evs[base].Dirty = true
+			evs[base+1].Dirty = true
 			c.writebacks += 2
 		}
 		p.valid = false
@@ -241,7 +262,7 @@ func (c *LLC) evict(w *way, setIdx uint64) []Eviction {
 		c.writebacks++
 	}
 	w.valid = false
-	return out
+	return evs
 }
 
 // Stats returns hit/miss/writeback counters and total tag reads (the extra

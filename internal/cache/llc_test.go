@@ -264,3 +264,97 @@ func TestSpatialWorkloadBenefitsFromUpgradedPrefetch(t *testing.T) {
 		t.Fatalf("upgraded-line prefetch did not help a sequential workload: %v <= %v", upgraded, relaxed)
 	}
 }
+
+// TestInsertIntoMatchesInsert pins the scratch API to the legacy one: the
+// same access/insert sequence driven through InsertInto (with a reused
+// eviction buffer) and Insert produces identical evictions and statistics.
+func TestInsertIntoMatchesInsert(t *testing.T) {
+	for _, policy := range []Policy{SharedRecency, IndependentLRU} {
+		legacy := newSmall(policy)
+		scratch := newSmall(policy)
+		rng := rand.New(rand.NewSource(7))
+		var evs []Eviction
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(512))
+			write := rng.Intn(3) == 0
+			upgraded := rng.Intn(3) == 0
+			if legacy.Access(addr, write) != scratch.Access(addr, write) {
+				t.Fatalf("policy %v: access %d diverged", policy, i)
+			}
+			if legacy.Contains(addr) {
+				continue
+			}
+			want := legacy.Insert(addr, upgraded, write)
+			evs = scratch.InsertInto(addr, upgraded, write, evs[:0])
+			if len(want) != len(evs) {
+				t.Fatalf("policy %v: insert %d: %d evictions vs %d", policy, i, len(evs), len(want))
+			}
+			for j := range want {
+				if want[j] != evs[j] {
+					t.Fatalf("policy %v: insert %d eviction %d: %+v vs %+v", policy, i, j, evs[j], want[j])
+				}
+			}
+		}
+		lh, lm, lw, lt := legacy.Stats()
+		sh, sm, sw, st := scratch.Stats()
+		if lh != sh || lm != sm || lw != sw || lt != st {
+			t.Fatalf("policy %v: stats diverged: %d/%d/%d/%d vs %d/%d/%d/%d", policy, sh, sm, sw, st, lh, lm, lw, lt)
+		}
+	}
+}
+
+// TestAccessInsertAllocationFree pins the steady-state LLC hot path to zero
+// heap allocations: lookups, and fills through InsertInto with a reused
+// eviction scratch.
+func TestAccessInsertAllocationFree(t *testing.T) {
+	c := newSmall(SharedRecency)
+	evs := make([]Eviction, 0, 4)
+	addr := uint64(0)
+	fill := func() {
+		a := addr % 4096
+		if !c.Access(a, addr%5 == 0) {
+			evs = c.InsertInto(a, addr%3 == 0, addr%5 == 0, evs[:0])
+		}
+		addr += 17
+	}
+	for i := 0; i < 1000; i++ {
+		fill() // populate so the measured runs evict constantly
+	}
+	if allocs := testing.AllocsPerRun(2000, fill); allocs != 0 {
+		t.Errorf("Access+InsertInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReset pins that a reset cache behaves exactly like a fresh one.
+func TestReset(t *testing.T) {
+	used := newSmall(SharedRecency)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(512))
+		if !used.Access(a, i%4 == 0) {
+			used.Insert(a, i%2 == 0, i%4 == 0)
+		}
+	}
+	used.Reset()
+	fresh := newSmall(SharedRecency)
+	rng = rand.New(rand.NewSource(10))
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(512))
+		w := i%4 == 0
+		if used.Access(a, w) != fresh.Access(a, w) {
+			t.Fatalf("access %d diverged after Reset", i)
+		}
+		if !fresh.Contains(a) {
+			wantEv := fresh.Insert(a, i%2 == 0, w)
+			gotEv := used.Insert(a, i%2 == 0, w)
+			if len(wantEv) != len(gotEv) {
+				t.Fatalf("insert %d diverged after Reset", i)
+			}
+		}
+	}
+	uh, um, uw, ut := used.Stats()
+	fh, fm, fw, ft := fresh.Stats()
+	if uh != fh || um != fm || uw != fw || ut != ft {
+		t.Fatalf("stats diverged after Reset: %d/%d/%d/%d vs %d/%d/%d/%d", uh, um, uw, ut, fh, fm, fw, ft)
+	}
+}

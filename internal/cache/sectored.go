@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Sectored is the alternative LLC organisation §4.2.3 mentions (Rothman &
 // Smith's sector cache): 128 B sectors, one tag per sector, two 64 B
@@ -9,10 +12,11 @@ import "fmt"
 // the capacity waste that made the paper prefer the paired-set design for
 // workloads with low spatial locality.
 type Sectored struct {
-	sets    [][]sector
-	numSets uint64
-	assoc   int
-	clock   int64
+	sets     [][]sector
+	numSets  uint64
+	tagShift uint // log2(numSets)
+	assoc    int
+	clock    int64
 
 	hits, misses, writebacks int64
 }
@@ -43,16 +47,19 @@ func NewSectored(sizeBytes, assoc int) *Sectored {
 	for i := range sets {
 		sets[i], backing = backing[:assoc], backing[assoc:]
 	}
-	return &Sectored{sets: sets, numSets: uint64(numSets), assoc: assoc}
+	return &Sectored{
+		sets:     sets,
+		numSets:  uint64(numSets),
+		tagShift: uint(bits.TrailingZeros64(uint64(numSets))),
+		assoc:    assoc,
+	}
 }
 
 // sectorOf splits a line address into (sector address, sub-sector index).
 func sectorOf(addr uint64) (uint64, int) { return addr >> 1, int(addr & 1) }
 
 func (c *Sectored) setIndex(sectorAddr uint64) uint64 { return sectorAddr & (c.numSets - 1) }
-func (c *Sectored) tagOf(sectorAddr uint64) uint64 {
-	return sectorAddr >> uint(trailingZeros(c.numSets))
-}
+func (c *Sectored) tagOf(sectorAddr uint64) uint64    { return sectorAddr >> c.tagShift }
 
 func (c *Sectored) find(sectorAddr uint64) *sector {
 	set := c.sets[c.setIndex(sectorAddr)]
@@ -128,7 +135,7 @@ func (c *Sectored) Insert(addr uint64, upgraded, write bool) []Eviction {
 }
 
 func (c *Sectored) evictSector(s *sector, setIdx uint64) []Eviction {
-	base := (s.tag<<uint(trailingZeros(c.numSets)) | setIdx) << 1
+	base := (s.tag<<c.tagShift | setIdx) << 1
 	var out []Eviction
 	pairDirty := s.upgraded && (s.dirty[0] || s.dirty[1])
 	for sub := 0; sub < 2; sub++ {

@@ -14,62 +14,86 @@ func (c *Controller) pairChannels(pair int) (chX, chY, slot int) {
 	return chX, chX + 1, slot
 }
 
-// ReadLine serves a 64 B line read. For relaxed pages it touches one
-// channel (18 devices); for upgraded pages it reads the line's pair from
-// two channels in lockstep (36 devices); for upgraded8 pages it reads the
-// line's quad from four channels (72 devices). The returned error is
-// ErrUncorrectable for DUEs; the data is then raw and untrusted.
+// ReadLine serves a 64 B line read, returning the data in a fresh slice.
+// For relaxed pages it touches one channel (18 devices); for upgraded pages
+// it reads the line's pair from two channels in lockstep (36 devices); for
+// upgraded8 pages it reads the line's quad from four channels (72 devices).
+// The returned error is ErrUncorrectable for DUEs; the data is then raw and
+// untrusted. ReadLine is a compatibility wrapper over ReadLineInto.
 func (c *Controller) ReadLine(page, line int) ([]byte, error) {
+	data := make([]byte, LineBytes)
+	err := c.ReadLineInto(page, line, data)
+	return data, err
+}
+
+// ReadLineInto is ReadLine with a caller-owned 64 B buffer: the decode runs
+// against the controller's scratch and performs no heap allocations.
+func (c *Controller) ReadLineInto(page, line int, data []byte) error {
+	if len(data) != LineBytes {
+		panic(fmt.Sprintf("core: ReadLineInto with %d bytes, want %d", len(data), LineBytes))
+	}
 	c.stats.Reads++
 	switch c.table.Mode(page) {
 	case pagetable.Relaxed:
 		ch, slot := c.channelOf(line)
 		rank, addr := c.addrOf(page, slot)
 		c.stats.SubLineAccesses++
-		stored := c.channels[ch][rank].ReadLine(addr)
-		data, corrected, err := c.decodeRelaxedLine(stored)
+		stored := c.channels[ch][rank].ReadLineInto(addr, c.scr.stored[0])
+		corrected, err := c.decodeRelaxedLineInto(stored, data)
 		c.noteOutcome(corrected, err)
-		return data, err
+		return err
 	case pagetable.Upgraded:
-		pair, err := c.ReadPair(page, line/2)
-		if pair == nil {
-			return nil, err
-		}
-		half := make([]byte, LineBytes)
+		pair := c.scr.data[:2*LineBytes]
+		err := c.readPairInto(page, line/2, pair)
 		if line%2 == 0 {
-			copy(half, pair[:LineBytes])
+			copy(data, pair[:LineBytes])
 		} else {
-			copy(half, pair[LineBytes:])
+			copy(data, pair[LineBytes:])
 		}
-		return half, err
+		return err
 	case pagetable.Upgraded8:
-		quad, err := c.ReadQuad(page, line/4)
-		if quad == nil {
-			return nil, err
-		}
-		part := make([]byte, LineBytes)
+		quad := c.scr.data[:4*LineBytes]
+		err := c.readQuadInto(page, line/4, quad)
 		off := (line % 4) * LineBytes
-		copy(part, quad[off:off+LineBytes])
-		return part, err
+		copy(data, quad[off:off+LineBytes])
+		return err
 	default:
 		panic(fmt.Sprintf("core: page %d in unsupported mode %v", page, c.table.Mode(page)))
 	}
 }
 
 // ReadPair reads upgraded pair p (lines 2p and 2p+1) of page, returning the
-// 128 B payload. Two channels are accessed in lockstep.
+// 128 B payload in a fresh slice. Two channels are accessed in lockstep.
+// ReadPair is a compatibility wrapper over ReadPairInto.
 func (c *Controller) ReadPair(page, pair int) ([]byte, error) {
+	data := make([]byte, 2*LineBytes)
+	err := c.ReadPairInto(page, pair, data)
+	return data, err
+}
+
+// ReadPairInto is ReadPair with a caller-owned 128 B buffer; it performs no
+// heap allocations.
+func (c *Controller) ReadPairInto(page, pair int, data []byte) error {
+	if len(data) != 2*LineBytes {
+		panic(fmt.Sprintf("core: ReadPairInto with %d bytes, want %d", len(data), 2*LineBytes))
+	}
+	return c.readPairInto(page, pair, data)
+}
+
+// readPairInto is ReadPairInto without the length check (internal callers
+// pass scratch slices of the right size).
+func (c *Controller) readPairInto(page, pair int, data []byte) error {
 	if c.table.Mode(page) != pagetable.Upgraded {
 		panic(fmt.Sprintf("core: ReadPair on %v page %d", c.table.Mode(page), page))
 	}
 	chX, chY, slot := c.pairChannels(pair)
 	rank, addr := c.addrOf(page, slot)
 	c.stats.SubLineAccesses += 2
-	storedX := c.channels[chX][rank].ReadLine(addr)
-	storedY := c.channels[chY][rank].ReadLine(addr)
-	data, corrected, err := c.decodeUpgradedPair(storedX, storedY, c.sparedPosOf(page))
-	c.noteOutcome(len(corrected), err)
-	return data, err
+	storedX := c.channels[chX][rank].ReadLineInto(addr, c.scr.stored[0])
+	storedY := c.channels[chY][rank].ReadLineInto(addr, c.scr.stored[1])
+	corrected, err := c.decodeUpgradedPairInto(storedX, storedY, c.sparedPosOf(page), data)
+	c.noteOutcome(corrected, err)
+	return err
 }
 
 // WriteLine serves a 64 B line write. For relaxed pages the line is encoded
@@ -77,6 +101,7 @@ func (c *Controller) ReadPair(page, pair int) ([]byte, error) {
 // sub-lines must be merged so all check symbols per codeword stay
 // consistent: the controller performs the read-modify-write that the LLC
 // normally avoids by writing back whole pairs (use WritePair for that path).
+// It performs no heap allocations.
 func (c *Controller) WriteLine(page, line int, data []byte) error {
 	if len(data) != LineBytes {
 		panic(fmt.Sprintf("core: WriteLine with %d bytes, want %d", len(data), LineBytes))
@@ -87,12 +112,13 @@ func (c *Controller) WriteLine(page, line int, data []byte) error {
 		ch, slot := c.channelOf(line)
 		rank, addr := c.addrOf(page, slot)
 		c.stats.SubLineAccesses++
-		c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data))
+		c.encodeRelaxedLineInto(data, c.scr.stored[0])
+		c.channels[ch][rank].WriteLine(addr, c.scr.stored[0])
 		return nil
 	case pagetable.Upgraded:
 		pair := line / 2
-		current, err := c.ReadPair(page, pair)
-		if err != nil {
+		current := c.scr.data[:2*LineBytes]
+		if err := c.readPairInto(page, pair, current); err != nil {
 			return err
 		}
 		if line%2 == 0 {
@@ -104,8 +130,8 @@ func (c *Controller) WriteLine(page, line int, data []byte) error {
 		return nil
 	case pagetable.Upgraded8:
 		quad := line / 4
-		current, err := c.ReadQuad(page, quad)
-		if err != nil {
+		current := c.scr.data[:4*LineBytes]
+		if err := c.readQuadInto(page, quad, current); err != nil {
 			return err
 		}
 		off := (line % 4) * LineBytes
@@ -133,17 +159,15 @@ func (c *Controller) WritePair(page, pair int, data []byte) {
 func (c *Controller) writePairStored(page, pair int, data []byte) {
 	chX, chY, slot := c.pairChannels(pair)
 	rank, addr := c.addrOf(page, slot)
-	storedX, storedY := c.encodeUpgradedPair(data, c.sparedPosOf(page))
+	storedX, storedY := c.scr.stored[2], c.scr.stored[3]
+	c.encodeUpgradedPairInto(data, c.sparedPosOf(page), storedX, storedY)
 	c.stats.SubLineAccesses += 2
 	c.channels[chX][rank].WriteLine(addr, storedX)
 	c.channels[chY][rank].WriteLine(addr, storedY)
 }
 
 func (c *Controller) sparedPosOf(page int) int {
-	if pos, ok := c.sparedPos[page]; ok {
-		return pos
-	}
-	return -1
+	return int(c.sparedPos[page])
 }
 
 func (c *Controller) noteOutcome(corrected int, err error) {
@@ -154,12 +178,18 @@ func (c *Controller) noteOutcome(corrected int, err error) {
 }
 
 // RawRead returns the 72 stored bytes of one sub-line as the devices return
-// them (fault corruption applied, no ECC). The scrubber's pattern tests use
-// this primitive.
+// them (fault corruption applied, no ECC), in a fresh slice. The scrubber's
+// pattern tests use this primitive (via RawReadInto for the hot loop).
 func (c *Controller) RawRead(page, line int) []byte {
+	return c.RawReadInto(page, line, make([]byte, storedLineBytes))
+}
+
+// RawReadInto is RawRead with a caller-owned buffer, which is overwritten
+// and returned; it performs no heap allocations.
+func (c *Controller) RawReadInto(page, line int, raw []byte) []byte {
 	ch, slot := c.channelOf(line)
 	rank, addr := c.addrOf(page, slot)
-	return c.channels[ch][rank].ReadLine(addr)
+	return c.channels[ch][rank].ReadLineInto(addr, raw)
 }
 
 // RawWrite stores 72 raw bytes into one sub-line, bypassing ECC encode. Only
@@ -176,20 +206,23 @@ func (c *Controller) RawWrite(page, line int, raw []byte) {
 // CorrectLine decodes the ECC context covering line (the line itself when
 // relaxed, its pair/quad when upgraded), writes the corrected content back,
 // and reports how many symbols were repaired. ErrUncorrectable reports a
-// DUE; the stored content is left as-is in that case.
+// DUE; the stored content is left as-is in that case. It performs no heap
+// allocations.
 func (c *Controller) CorrectLine(page, line int) (corrected int, err error) {
 	switch c.table.Mode(page) {
 	case pagetable.Relaxed:
 		ch, slot := c.channelOf(line)
 		rank, addr := c.addrOf(page, slot)
-		stored := c.channels[ch][rank].ReadLine(addr)
-		data, n, derr := c.decodeRelaxedLine(stored)
+		stored := c.channels[ch][rank].ReadLineInto(addr, c.scr.stored[0])
+		data := c.scr.data[:LineBytes]
+		n, derr := c.decodeRelaxedLineInto(stored, data)
 		if derr != nil {
 			c.stats.DUEs++
 			return n, derr
 		}
 		if n > 0 {
-			c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data))
+			c.encodeRelaxedLineInto(data, stored)
+			c.channels[ch][rank].WriteLine(addr, stored)
 			c.stats.Corrected += int64(n)
 		}
 		return n, nil
@@ -197,31 +230,33 @@ func (c *Controller) CorrectLine(page, line int) (corrected int, err error) {
 		pair := line / 2
 		chX, chY, slot := c.pairChannels(pair)
 		rank, addr := c.addrOf(page, slot)
-		storedX := c.channels[chX][rank].ReadLine(addr)
-		storedY := c.channels[chY][rank].ReadLine(addr)
-		data, fixed, derr := c.decodeUpgradedPair(storedX, storedY, c.sparedPosOf(page))
+		storedX := c.channels[chX][rank].ReadLineInto(addr, c.scr.stored[0])
+		storedY := c.channels[chY][rank].ReadLineInto(addr, c.scr.stored[1])
+		data := c.scr.data[:2*LineBytes]
+		n, derr := c.decodeUpgradedPairInto(storedX, storedY, c.sparedPosOf(page), data)
 		if derr != nil {
 			c.stats.DUEs++
-			return len(fixed), derr
+			return n, derr
 		}
-		if len(fixed) > 0 {
+		if n > 0 {
 			c.writePairStored(page, pair, data)
-			c.stats.Corrected += int64(len(fixed))
+			c.stats.Corrected += int64(n)
 		}
-		return len(fixed), nil
+		return n, nil
 	case pagetable.Upgraded8:
 		quad := line / 4
 		stored := c.readQuadStored(page, quad)
-		data, fixed, derr := c.decodeQuad(stored)
+		data := c.scr.data[:4*LineBytes]
+		n, derr := c.decodeQuadInto(stored, data)
 		if derr != nil {
 			c.stats.DUEs++
-			return len(fixed), derr
+			return n, derr
 		}
-		if len(fixed) > 0 {
+		if n > 0 {
 			c.writeQuadStored(page, quad, data)
-			c.stats.Corrected += int64(len(fixed))
+			c.stats.Corrected += int64(n)
 		}
-		return len(fixed), nil
+		return n, nil
 	default:
 		panic(fmt.Sprintf("core: page %d in unsupported mode %v", page, c.table.Mode(page)))
 	}

@@ -102,10 +102,31 @@ type Controller struct {
 	sparing      *ecc.DoubleChipSparing // non-nil iff cfg.Upgrade == UpgradeSparing
 
 	// sparedPos[page] is the codeword position remapped to the spare for
-	// sparing-mode upgraded pages, or absent if none.
-	sparedPos map[int]int
+	// sparing-mode upgraded pages, or -1 for none. Dense (one int32 per
+	// page) because every upgraded access consults it.
+	sparedPos []int32
+
+	// scr is the controller's decode/line workspace: one ECC scratch per
+	// scheme plus the stored-line, codeword-assembly, payload, and
+	// whole-page buffers every access and mode transition reuses. It makes
+	// the steady-state read/write/scrub/upgrade paths allocation-free. A
+	// controller therefore serves one operation at a time (it was never
+	// concurrency-safe: it has stats).
+	scr ctrlScratch
 
 	stats Stats
+}
+
+// ctrlScratch holds the controller's reusable working buffers.
+type ctrlScratch struct {
+	relaxed  *ecc.Scratch
+	upgraded *ecc.Scratch
+	eight    *ecc.Scratch
+	stored   [4][]byte // per-channel stored sub-lines, storedLineBytes each
+	full     []byte    // widest codeword assembly buffer (72 symbols)
+	data     []byte    // widest decoded payload (a 256 B quad)
+	page     []byte    // whole-page payload for mode transitions (4 KB)
+	posHits  [32]int   // per-position correction counts during UpgradePage
 }
 
 // Stats counts controller activity.
@@ -150,7 +171,10 @@ func New(cfg Config) *Controller {
 		table:        pagetable.New(cfg.Pages),
 		relaxed:      ecc.NewRelaxed(),
 		eight:        ecc.NewEightCheck(),
-		sparedPos:    make(map[int]int),
+		sparedPos:    make([]int32, cfg.Pages),
+	}
+	for i := range c.sparedPos {
+		c.sparedPos[i] = -1
 	}
 	switch cfg.Upgrade {
 	case UpgradeSCCDCD:
@@ -170,6 +194,15 @@ func New(cfg Config) *Controller {
 		}
 		c.channels[ch] = ranks
 	}
+	c.scr.relaxed = c.relaxed.NewScratch()
+	c.scr.upgraded = c.upgraded.NewScratch()
+	c.scr.eight = c.eight.NewScratch()
+	for i := range c.scr.stored {
+		c.scr.stored[i] = make([]byte, storedLineBytes)
+	}
+	c.scr.full = make([]byte, 72)
+	c.scr.data = make([]byte, 4*LineBytes)
+	c.scr.page = make([]byte, LinesPerPage*LineBytes)
 	return c
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"arcc/internal/ecc"
+)
 
 // This file owns the Fig. 4.1 codeword layouts.
 //
@@ -17,33 +21,41 @@ import "fmt"
 //
 // so each stored symbol still maps to its own device in its own channel and
 // a whole-device fault corrupts exactly one symbol of each codeword.
+//
+// Every encode/decode below runs against the controller's scratch (one ECC
+// workspace per scheme, one codeword assembly buffer) and caller-owned
+// stored/data buffers, so the steady-state data path never allocates.
 
 // storedLineBytes is the per-channel stored size of one line: 4 beats x 18
 // symbols (64 data bytes + 8 redundant bytes).
 const storedLineBytes = codewordsPerLine * 18
 
-// encodeRelaxedLine encodes 64 data bytes into the 72-byte stored format.
-func (c *Controller) encodeRelaxedLine(data []byte) []byte {
+// encodeRelaxedLineInto encodes 64 data bytes into the 72-byte stored
+// format, written into out (length storedLineBytes).
+func (c *Controller) encodeRelaxedLineInto(data, out []byte) {
 	if len(data) != LineBytes {
 		panic(fmt.Sprintf("core: relaxed encode with %d bytes, want %d", len(data), LineBytes))
 	}
-	out := make([]byte, storedLineBytes)
-	for cw := 0; cw < codewordsPerLine; cw++ {
-		copy(out[cw*18:], c.relaxed.Encode(data[cw*dataPerCodeword:(cw+1)*dataPerCodeword]))
+	if len(out) != storedLineBytes {
+		panic(fmt.Sprintf("core: relaxed encode into %d bytes, want %d", len(out), storedLineBytes))
 	}
-	return out
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		stored := out[cw*18 : (cw+1)*18]
+		copy(stored, data[cw*dataPerCodeword:(cw+1)*dataPerCodeword])
+		c.relaxed.EncodeInto(stored)
+	}
 }
 
-// decodeRelaxedLine decodes a 72-byte stored line into 64 data bytes,
-// reporting corrected symbol count. A detected uncorrectable pattern returns
-// ErrUncorrectable together with the raw (untrusted) data symbols.
-func (c *Controller) decodeRelaxedLine(stored []byte) (data []byte, corrected int, err error) {
+// decodeRelaxedLineInto decodes a 72-byte stored line into the 64-byte data
+// buffer, reporting the corrected symbol count. A detected uncorrectable
+// pattern returns ErrUncorrectable with the raw (untrusted) data symbols
+// copied through for the affected codewords.
+func (c *Controller) decodeRelaxedLineInto(stored, data []byte) (corrected int, err error) {
 	if len(stored) != storedLineBytes {
 		panic(fmt.Sprintf("core: relaxed decode with %d bytes, want %d", len(stored), storedLineBytes))
 	}
-	data = make([]byte, LineBytes)
 	for cw := 0; cw < codewordsPerLine; cw++ {
-		res, derr := c.relaxed.Decode(stored[cw*18 : (cw+1)*18])
+		res, derr := c.relaxed.DecodeInto(stored[cw*18:(cw+1)*18], c.scr.relaxed)
 		if derr != nil {
 			err = ErrUncorrectable
 			copy(data[cw*dataPerCodeword:], stored[cw*18:cw*18+dataPerCodeword])
@@ -52,27 +64,27 @@ func (c *Controller) decodeRelaxedLine(stored []byte) (data []byte, corrected in
 		corrected += len(res.Corrected)
 		copy(data[cw*dataPerCodeword:], res.Data)
 	}
-	return data, corrected, err
+	return corrected, err
 }
 
-// encodeUpgradedPair encodes 128 data bytes (sub-line X ++ sub-line Y) into
-// the two 72-byte stored sub-lines. sparedPos is the codeword position
-// remapped to the spare for sparing pages, or -1.
-func (c *Controller) encodeUpgradedPair(data []byte, sparedPos int) (storedX, storedY []byte) {
+// encodeUpgradedPairInto encodes 128 data bytes (sub-line X ++ sub-line Y)
+// into the two 72-byte stored sub-line buffers. sparedPos is the codeword
+// position remapped to the spare for sparing pages, or -1.
+func (c *Controller) encodeUpgradedPairInto(data []byte, sparedPos int, storedX, storedY []byte) {
 	if len(data) != 2*LineBytes {
 		panic(fmt.Sprintf("core: upgraded encode with %d bytes, want %d", len(data), 2*LineBytes))
 	}
-	storedX = make([]byte, storedLineBytes)
-	storedY = make([]byte, storedLineBytes)
-	payload := make([]byte, 32)
+	if len(storedX) != storedLineBytes || len(storedY) != storedLineBytes {
+		panic("core: upgraded encode into wrong stored sizes")
+	}
+	full := c.scr.full[:36]
 	for cw := 0; cw < codewordsPerLine; cw++ {
-		copy(payload[0:16], data[cw*16:cw*16+16])        // X half
-		copy(payload[16:32], data[64+cw*16:64+cw*16+16]) // Y half
-		var full []byte
+		copy(full[0:16], data[cw*16:cw*16+16])        // X half
+		copy(full[16:32], data[64+cw*16:64+cw*16+16]) // Y half
 		if c.sparing != nil {
-			full = c.sparing.EncodeSpared(payload, sparedPos)
+			c.sparing.EncodeSparedInto(full, sparedPos)
 		} else {
-			full = c.upgraded.Encode(payload)
+			c.upgraded.EncodeInto(full)
 		}
 		// Scatter: X gets symbols 0..15 and 32, 33; Y gets 16..31, 34, 35.
 		copy(storedX[cw*18:], full[0:16])
@@ -82,16 +94,15 @@ func (c *Controller) encodeUpgradedPair(data []byte, sparedPos int) (storedX, st
 		storedY[cw*18+16] = full[34]
 		storedY[cw*18+17] = full[35]
 	}
-	return storedX, storedY
 }
 
-// decodeUpgradedPair decodes the two stored sub-lines into 128 data bytes.
-func (c *Controller) decodeUpgradedPair(storedX, storedY []byte, sparedPos int) (data []byte, corrected []int, err error) {
+// decodeUpgradedPairInto decodes the two stored sub-lines into the 128-byte
+// data buffer, reporting the corrected symbol count.
+func (c *Controller) decodeUpgradedPairInto(storedX, storedY []byte, sparedPos int, data []byte) (corrected int, err error) {
 	if len(storedX) != storedLineBytes || len(storedY) != storedLineBytes {
 		panic("core: upgraded decode with wrong stored sizes")
 	}
-	data = make([]byte, 2*LineBytes)
-	full := make([]byte, 36)
+	full := c.scr.full[:36]
 	for cw := 0; cw < codewordsPerLine; cw++ {
 		copy(full[0:16], storedX[cw*18:cw*18+16])
 		full[32] = storedX[cw*18+16]
@@ -100,14 +111,12 @@ func (c *Controller) decodeUpgradedPair(storedX, storedY []byte, sparedPos int) 
 		full[34] = storedY[cw*18+16]
 		full[35] = storedY[cw*18+17]
 
-		var res eccResult
+		var res ecc.Result
 		var derr error
 		if c.sparing != nil {
-			r, e := c.sparing.DecodeSpared(full, sparedPos)
-			res, derr = eccResult{data: r.Data, corrected: r.Corrected}, e
+			res, derr = c.sparing.DecodeSparedInto(full, sparedPos, c.scr.upgraded)
 		} else {
-			r, e := c.upgraded.Decode(full)
-			res, derr = eccResult{data: r.Data, corrected: r.Corrected}, e
+			res, derr = c.upgraded.DecodeInto(full, c.scr.upgraded)
 		}
 		if derr != nil {
 			err = ErrUncorrectable
@@ -115,14 +124,9 @@ func (c *Controller) decodeUpgradedPair(storedX, storedY []byte, sparedPos int) 
 			copy(data[64+cw*16:], full[16:32])
 			continue
 		}
-		corrected = append(corrected, res.corrected...)
-		copy(data[cw*16:], res.data[0:16])
-		copy(data[64+cw*16:], res.data[16:32])
+		corrected += len(res.Corrected)
+		copy(data[cw*16:], res.Data[0:16])
+		copy(data[64+cw*16:], res.Data[16:32])
 	}
-	return data, corrected, err
-}
-
-type eccResult struct {
-	data      []byte
-	corrected []int
+	return corrected, err
 }

@@ -29,29 +29,47 @@ func (c *Controller) quadSlot(quad int) int {
 	return slot
 }
 
-// readQuadStored fetches the four stored sub-lines of a quad.
+// readQuadStored fetches the four stored sub-lines of a quad into the
+// controller's scratch buffers (valid until the next operation).
 func (c *Controller) readQuadStored(page, quad int) [4][]byte {
 	c.mustSupportStrong()
 	slot := c.quadSlot(quad)
 	rank, addr := c.addrOf(page, slot)
 	var stored [4][]byte
 	for ch := 0; ch < 4; ch++ {
-		stored[ch] = c.channels[ch][rank].ReadLine(addr)
+		stored[ch] = c.channels[ch][rank].ReadLineInto(addr, c.scr.stored[ch])
 	}
 	c.stats.SubLineAccesses += 4
 	return stored
 }
 
 // ReadQuad reads upgraded8 quad q (lines 4q..4q+3), returning the 256 B
-// payload. All four channels are accessed in lockstep.
+// payload in a fresh slice. All four channels are accessed in lockstep.
+// ReadQuad is a compatibility wrapper over ReadQuadInto.
 func (c *Controller) ReadQuad(page, quad int) ([]byte, error) {
+	data := make([]byte, 4*LineBytes)
+	err := c.ReadQuadInto(page, quad, data)
+	return data, err
+}
+
+// ReadQuadInto is ReadQuad with a caller-owned 256 B buffer; it performs no
+// heap allocations.
+func (c *Controller) ReadQuadInto(page, quad int, data []byte) error {
+	if len(data) != 4*LineBytes {
+		panic(fmt.Sprintf("core: ReadQuadInto with %d bytes, want %d", len(data), 4*LineBytes))
+	}
+	return c.readQuadInto(page, quad, data)
+}
+
+// readQuadInto is ReadQuadInto without the length check.
+func (c *Controller) readQuadInto(page, quad int, data []byte) error {
 	if c.table.Mode(page) != pagetable.Upgraded8 {
 		panic(fmt.Sprintf("core: ReadQuad on %v page %d", c.table.Mode(page), page))
 	}
 	stored := c.readQuadStored(page, quad)
-	data, corrected, err := c.decodeQuad(stored)
-	c.noteOutcome(len(corrected), err)
-	return data, err
+	corrected, err := c.decodeQuadInto(stored, data)
+	c.noteOutcome(corrected, err)
+	return err
 }
 
 // WriteQuad writes back a full 256 B upgraded8 quad.
@@ -66,7 +84,8 @@ func (c *Controller) WriteQuad(page, quad int, data []byte) {
 	c.writeQuadStored(page, quad, data)
 }
 
-// writeQuadStored encodes a 256 B quad and stores its four sub-lines.
+// writeQuadStored encodes a 256 B quad and stores its four sub-lines,
+// assembling the codewords and stored images in the controller's scratch.
 func (c *Controller) writeQuadStored(page, quad int, data []byte) {
 	c.mustSupportStrong()
 	if len(data) != 4*LineBytes {
@@ -74,44 +93,41 @@ func (c *Controller) writeQuadStored(page, quad int, data []byte) {
 	}
 	slot := c.quadSlot(quad)
 	rank, addr := c.addrOf(page, slot)
-	var stored [4][]byte
-	for ch := 0; ch < 4; ch++ {
-		stored[ch] = make([]byte, storedLineBytes)
-	}
-	payload := make([]byte, 64)
+	full := c.scr.full[:72]
 	for cw := 0; cw < codewordsPerLine; cw++ {
 		for ch := 0; ch < 4; ch++ {
-			copy(payload[ch*16:(ch+1)*16], data[ch*LineBytes+cw*16:ch*LineBytes+cw*16+16])
+			copy(full[ch*16:(ch+1)*16], data[ch*LineBytes+cw*16:ch*LineBytes+cw*16+16])
 		}
-		full := c.eight.Encode(payload)
+		c.eight.EncodeInto(full)
 		for ch := 0; ch < 4; ch++ {
-			copy(stored[ch][cw*18:], full[ch*16:(ch+1)*16])
-			stored[ch][cw*18+16] = full[64+2*ch]
-			stored[ch][cw*18+17] = full[64+2*ch+1]
+			stored := c.scr.stored[ch]
+			copy(stored[cw*18:], full[ch*16:(ch+1)*16])
+			stored[cw*18+16] = full[64+2*ch]
+			stored[cw*18+17] = full[64+2*ch+1]
 		}
 	}
 	for ch := 0; ch < 4; ch++ {
-		c.channels[ch][rank].WriteLine(addr, stored[ch])
+		c.channels[ch][rank].WriteLine(addr, c.scr.stored[ch])
 	}
 	c.stats.SubLineAccesses += 4
 }
 
-// decodeQuad decodes four stored sub-lines into 256 data bytes.
-func (c *Controller) decodeQuad(stored [4][]byte) (data []byte, corrected []int, err error) {
+// decodeQuadInto decodes four stored sub-lines into the 256-byte data
+// buffer, reporting the corrected symbol count.
+func (c *Controller) decodeQuadInto(stored [4][]byte, data []byte) (corrected int, err error) {
 	for ch := 0; ch < 4; ch++ {
 		if len(stored[ch]) != storedLineBytes {
 			panic("core: quad decode with wrong stored sizes")
 		}
 	}
-	data = make([]byte, 4*LineBytes)
-	full := make([]byte, 72)
+	full := c.scr.full[:72]
 	for cw := 0; cw < codewordsPerLine; cw++ {
 		for ch := 0; ch < 4; ch++ {
 			copy(full[ch*16:(ch+1)*16], stored[ch][cw*18:cw*18+16])
 			full[64+2*ch] = stored[ch][cw*18+16]
 			full[64+2*ch+1] = stored[ch][cw*18+17]
 		}
-		res, derr := c.eight.Decode(full)
+		res, derr := c.eight.DecodeInto(full, c.scr.eight)
 		if derr != nil {
 			err = ErrUncorrectable
 			for ch := 0; ch < 4; ch++ {
@@ -119,41 +135,37 @@ func (c *Controller) decodeQuad(stored [4][]byte) (data []byte, corrected []int,
 			}
 			continue
 		}
-		corrected = append(corrected, res.Corrected...)
+		corrected += len(res.Corrected)
 		for ch := 0; ch < 4; ch++ {
 			copy(data[ch*LineBytes+cw*16:], res.Data[ch*16:(ch+1)*16])
 		}
 	}
-	return data, corrected, err
+	return corrected, err
 }
 
 // UpgradePageToStrong raises an Upgraded page to Upgraded8 (§5.1): the
 // page's pairs are read out (correcting what the 4-check code still can),
 // re-encoded as four-channel quads with eight check symbols, and written
-// back. Requires a four-channel controller.
+// back. Requires a four-channel controller. The page payload is staged in
+// the controller's whole-page scratch, so the transition does not allocate.
 func (c *Controller) UpgradePageToStrong(page int) error {
 	c.mustSupportStrong()
 	if c.table.Mode(page) != pagetable.Upgraded {
 		panic(fmt.Sprintf("core: UpgradePageToStrong on %v page %d", c.table.Mode(page), page))
 	}
 	var readErr error
-	pairs := make([][]byte, LinesPerPage/2)
-	for pair := range pairs {
-		data, err := c.ReadPair(page, pair)
-		if err != nil {
+	pageData := c.scr.page
+	for pair := 0; pair < LinesPerPage/2; pair++ {
+		if err := c.readPairInto(page, pair, pageData[pair*2*LineBytes:(pair+1)*2*LineBytes]); err != nil {
 			readErr = err
 		}
-		pairs[pair] = data
 	}
 	c.table.SetMode(page, pagetable.Upgraded8)
-	delete(c.sparedPos, page)
+	c.sparedPos[page] = -1
 	c.stats.StrongUpgrades++
 
-	quadData := make([]byte, 4*LineBytes)
 	for quad := 0; quad < LinesPerPage/4; quad++ {
-		copy(quadData[:2*LineBytes], pairs[2*quad])
-		copy(quadData[2*LineBytes:], pairs[2*quad+1])
-		c.writeQuadStored(page, quad, quadData)
+		c.writeQuadStored(page, quad, pageData[quad*4*LineBytes:(quad+1)*4*LineBytes])
 	}
 	return readErr
 }

@@ -9,7 +9,9 @@ import (
 // UpgradePage raises page from relaxed to upgraded mode (§4.2.1): every
 // line of the page is read out (correcting errors on the way), adjacent
 // line pairs are joined into 128 B upgraded lines, and the page is written
-// back in the stronger layout. Only this page is touched.
+// back in the stronger layout. Only this page is touched. The page payload
+// is staged in the controller's whole-page scratch, so the transition does
+// not allocate.
 //
 // When the upgraded code is double chip sparing and the relaxed reads
 // corrected a consistent symbol position (a dead device), that position is
@@ -24,57 +26,59 @@ func (c *Controller) UpgradePage(page int) error {
 		panic(fmt.Sprintf("core: UpgradePage on %v page %d", c.table.Mode(page), page))
 	}
 
-	// Read out all 64 lines in relaxed form, tracking corrected positions.
+	// Read out all 64 lines in relaxed form, tracking corrected positions:
+	// positionHits identifies which upgraded-codeword positions were
+	// repaired so sparing can remap a consistently-failing device. Data
+	// from an even channel occupies positions 0..15 of the upgraded
+	// codeword, from an odd channel 16..31.
 	var readErr error
-	positionHits := make(map[int]int)
-	lines := make([][]byte, LinesPerPage)
+	positionHits := &c.scr.posHits
+	clear(positionHits[:])
+	pageData := c.scr.page
 	for line := 0; line < LinesPerPage; line++ {
 		ch, slot := c.channelOf(line)
 		rank, addr := c.addrOf(page, slot)
 		c.stats.SubLineAccesses++
-		stored := c.channels[ch][rank].ReadLine(addr)
-		data, corrected, err := c.decodeRelaxedLine(stored)
-		if err != nil {
-			readErr = err
-			c.stats.DUEs++
-		}
-		c.stats.Corrected += int64(corrected)
-		if corrected > 0 {
-			// Identify which codeword positions were repaired so sparing
-			// can remap a consistently-failing device. In the upgraded
-			// codeword, data from an even channel occupies positions
-			// 0..15 and from an odd channel 16..31.
-			for cw := 0; cw < codewordsPerLine; cw++ {
-				res, derr := c.relaxed.Decode(stored[cw*18 : (cw+1)*18])
-				if derr != nil {
-					continue
-				}
-				for _, pos := range res.Corrected {
-					if pos < 16 {
-						if ch%2 == 0 {
-							positionHits[pos]++
-						} else {
-							positionHits[16+pos]++
-						}
+		stored := c.channels[ch][rank].ReadLineInto(addr, c.scr.stored[0])
+		data := pageData[line*LineBytes : (line+1)*LineBytes]
+		lineDUE := false
+		for cw := 0; cw < codewordsPerLine; cw++ {
+			res, derr := c.relaxed.DecodeInto(stored[cw*18:(cw+1)*18], c.scr.relaxed)
+			if derr != nil {
+				lineDUE = true
+				copy(data[cw*dataPerCodeword:], stored[cw*18:cw*18+dataPerCodeword])
+				continue
+			}
+			c.stats.Corrected += int64(len(res.Corrected))
+			copy(data[cw*dataPerCodeword:], res.Data)
+			for _, pos := range res.Corrected {
+				if pos < 16 {
+					if ch%2 == 0 {
+						positionHits[pos]++
+					} else {
+						positionHits[16+pos]++
 					}
 				}
 			}
 		}
-		lines[line] = data
+		if lineDUE {
+			readErr = ErrUncorrectable
+			c.stats.DUEs++
+		}
 	}
 
 	// Choose a spare remap target: the most frequently corrected data
 	// position, if the sparing scheme is in use.
-	spared := -1
 	if c.sparing != nil {
 		best := 0
+		spared := -1
 		for pos, n := range positionHits {
 			if n > best {
 				best, spared = n, pos
 			}
 		}
 		if spared >= 0 {
-			c.sparedPos[page] = spared
+			c.sparedPos[page] = int32(spared)
 		}
 	}
 
@@ -82,41 +86,35 @@ func (c *Controller) UpgradePage(page int) error {
 	c.table.SetMode(page, pagetable.Upgraded)
 	c.stats.PageUpgrades++
 
-	pairData := make([]byte, 2*LineBytes)
 	for pair := 0; pair < LinesPerPage/2; pair++ {
-		copy(pairData[:LineBytes], lines[2*pair])
-		copy(pairData[LineBytes:], lines[2*pair+1])
-		c.writePairStored(page, pair, pairData)
+		c.writePairStored(page, pair, pageData[pair*2*LineBytes:(pair+1)*2*LineBytes])
 	}
 	return readErr
 }
 
 // RelaxPage drops page from upgraded to relaxed mode — the boot-time scrub
 // applies this to every fault-free page. The page content is decoded in
-// upgraded form and re-encoded per-line in relaxed form.
+// upgraded form and re-encoded per-line in relaxed form, staged in the
+// controller's whole-page scratch.
 func (c *Controller) RelaxPage(page int) error {
 	if c.table.Mode(page) != pagetable.Upgraded {
 		panic(fmt.Sprintf("core: RelaxPage on %v page %d", c.table.Mode(page), page))
 	}
 	var readErr error
-	pairs := make([][]byte, LinesPerPage/2)
-	for pair := range pairs {
-		data, err := c.ReadPair(page, pair)
-		if err != nil {
+	pageData := c.scr.page
+	for pair := 0; pair < LinesPerPage/2; pair++ {
+		if err := c.readPairInto(page, pair, pageData[pair*2*LineBytes:(pair+1)*2*LineBytes]); err != nil {
 			readErr = err
 		}
-		pairs[pair] = data
 	}
 	c.table.SetMode(page, pagetable.Relaxed)
-	delete(c.sparedPos, page)
-	for pair, data := range pairs {
-		for half := 0; half < 2; half++ {
-			line := 2*pair + half
-			ch, slot := c.channelOf(line)
-			rank, addr := c.addrOf(page, slot)
-			c.stats.SubLineAccesses++
-			c.channels[ch][rank].WriteLine(addr, c.encodeRelaxedLine(data[half*LineBytes:(half+1)*LineBytes]))
-		}
+	c.sparedPos[page] = -1
+	for line := 0; line < LinesPerPage; line++ {
+		ch, slot := c.channelOf(line)
+		rank, addr := c.addrOf(page, slot)
+		c.stats.SubLineAccesses++
+		c.encodeRelaxedLineInto(pageData[line*LineBytes:(line+1)*LineBytes], c.scr.stored[0])
+		c.channels[ch][rank].WriteLine(addr, c.scr.stored[0])
 	}
 	return readErr
 }

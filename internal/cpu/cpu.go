@@ -17,7 +17,7 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Config shapes one core.
@@ -49,7 +49,18 @@ func New(cfg Config) *Core {
 	if cfg.WidthIPC <= 0 || cfg.MLP <= 0 || cfg.HitLatency < 0 {
 		panic(fmt.Sprintf("cpu: invalid config %+v", cfg))
 	}
-	return &Core{cfg: cfg}
+	// The outstanding window never exceeds MLP entries; pre-sizing it (and
+	// compacting in place in retire) keeps the miss path allocation-free.
+	return &Core{cfg: cfg, outstanding: make([]int64, 0, cfg.MLP+1)}
+}
+
+// Reset returns the core to its post-New state (time zero, no committed
+// instructions, empty miss window), reusing the outstanding-miss backing
+// array. sim.Scratch resets rather than reallocates cores between runs.
+func (c *Core) Reset() {
+	c.time = 0
+	c.instructions = 0
+	c.outstanding = c.outstanding[:0]
 }
 
 // Now returns the core's current cycle.
@@ -82,12 +93,31 @@ func (c *Core) NoteHit() {
 	c.retire()
 }
 
-// IssueMiss registers a demand miss. issue is called with the cycle at
-// which the request leaves the core and must return its completion cycle;
-// the callback indirection lets the memory system book bus/bank occupancy
-// at the true issue time. If the MLP window is full the core first stalls
-// until the oldest outstanding miss completes.
+// Issuer books a demand miss with the memory system: IssueAt is called with
+// the cycle at which the request leaves the core and must return its
+// completion cycle. The indirection lets the memory system book bus/bank
+// occupancy at the true issue time; implementing it on a long-lived struct
+// (rather than a per-miss closure) keeps the miss path allocation-free.
+type Issuer interface {
+	IssueAt(now int64) (complete int64)
+}
+
+// issuerFunc adapts a plain callback to Issuer for the IssueMiss wrapper.
+type issuerFunc func(now int64) int64
+
+func (f issuerFunc) IssueAt(now int64) int64 { return f(now) }
+
+// IssueMiss registers a demand miss via a callback. It is a compatibility
+// wrapper over IssueMissTo; hot callers should pre-bind an Issuer instead
+// of allocating a closure per miss.
 func (c *Core) IssueMiss(issue func(now int64) (complete int64)) {
+	c.IssueMissTo(issuerFunc(issue))
+}
+
+// IssueMissTo registers a demand miss. If the MLP window is full the core
+// first stalls until the oldest outstanding miss completes. It performs no
+// heap allocations.
+func (c *Core) IssueMissTo(iss Issuer) {
 	c.retire()
 	if len(c.outstanding) >= c.cfg.MLP {
 		// Stall until the oldest miss returns.
@@ -97,15 +127,13 @@ func (c *Core) IssueMiss(issue func(now int64) (complete int64)) {
 		}
 		c.retire()
 	}
-	complete := issue(c.time)
+	complete := iss.IssueAt(c.time)
 	if complete < c.time {
 		complete = c.time
 	}
 	// Insert keeping the slice sorted (it is tiny: MLP entries).
-	i := sort.Search(len(c.outstanding), func(i int) bool { return c.outstanding[i] >= complete })
-	c.outstanding = append(c.outstanding, 0)
-	copy(c.outstanding[i+1:], c.outstanding[i:])
-	c.outstanding[i] = complete
+	i, _ := slices.BinarySearch(c.outstanding, complete)
+	c.outstanding = slices.Insert(c.outstanding, i, complete)
 
 	// A miss also has some exposed front-end cost even when overlapped.
 	c.time += c.cfg.HitLatency
@@ -131,6 +159,10 @@ func (c *Core) retire() {
 		i++
 	}
 	if i > 0 {
-		c.outstanding = c.outstanding[i:]
+		// Compact in place (rather than reslice the front off) so the
+		// window's backing array keeps its capacity and the miss path never
+		// regrows it.
+		n := copy(c.outstanding, c.outstanding[i:])
+		c.outstanding = c.outstanding[:n]
 	}
 }

@@ -143,3 +143,72 @@ func TestMemoryLatencySensitivity(t *testing.T) {
 		t.Fatalf("IPC not sensitive to memory latency: %v vs %v", fast, slow)
 	}
 }
+
+// fixedIssuer is a closure-free Issuer for tests: completion = now + lat.
+type fixedIssuer struct{ lat int64 }
+
+func (f *fixedIssuer) IssueAt(now int64) int64 { return now + f.lat }
+
+// TestIssueMissToMatchesIssueMiss pins the closure-free path to the legacy
+// callback path: the same miss sequence produces identical core state.
+func TestIssueMissToMatchesIssueMiss(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	iss := &fixedIssuer{}
+	lat := []int64{200, 40, 900, 1, 0, 350, 350, 77, 600, 5}
+	for i := 0; i < 200; i++ {
+		l := lat[i%len(lat)]
+		a.AdvanceCompute(i % 7)
+		b.AdvanceCompute(i % 7)
+		a.IssueMiss(func(now int64) int64 { return now + l })
+		iss.lat = l
+		b.IssueMissTo(iss)
+		if a.Now() != b.Now() || a.Instructions() != b.Instructions() || a.OutstandingMisses() != b.OutstandingMisses() {
+			t.Fatalf("miss %d: state diverged: now %d vs %d, misses %d vs %d", i, a.Now(), b.Now(), a.OutstandingMisses(), b.OutstandingMisses())
+		}
+	}
+	a.Drain()
+	b.Drain()
+	if a.Now() != b.Now() {
+		t.Fatalf("drained time diverged: %d vs %d", a.Now(), b.Now())
+	}
+}
+
+// TestIssueMissToAllocationFree pins the miss-issue path to zero heap
+// allocations, including the MLP-full stall path and retire compaction.
+func TestIssueMissToAllocationFree(t *testing.T) {
+	c := New(DefaultConfig())
+	iss := &fixedIssuer{lat: 300}
+	step := func() {
+		c.AdvanceCompute(3)
+		c.IssueMissTo(iss)
+	}
+	step() // warm up
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("IssueMissTo: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReset pins that a reset core behaves like a fresh one.
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig())
+	iss := &fixedIssuer{lat: 100}
+	for i := 0; i < 10; i++ {
+		c.AdvanceCompute(5)
+		c.IssueMissTo(iss)
+	}
+	c.Reset()
+	if c.Now() != 0 || c.Instructions() != 0 || c.OutstandingMisses() != 0 {
+		t.Fatalf("Reset left state: now %d, instr %d, misses %d", c.Now(), c.Instructions(), c.OutstandingMisses())
+	}
+	fresh := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		c.AdvanceCompute(5)
+		fresh.AdvanceCompute(5)
+		c.IssueMissTo(iss)
+		fresh.IssueMissTo(iss)
+		if c.Now() != fresh.Now() {
+			t.Fatalf("step %d: reset core diverged from fresh", i)
+		}
+	}
+}

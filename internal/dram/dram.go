@@ -68,25 +68,41 @@ func (r *Rank) Geometry() Geometry { return r.geom }
 
 // WriteLine stores a line. The data length must equal Geometry().LineBytes().
 // Writes are recorded faithfully; corruption happens on read, which is how
-// stuck-at faults hide until the cell is read back.
+// stuck-at faults hide until the cell is read back. Rewriting a line reuses
+// its stored buffer, so steady-state writes do not allocate.
 func (r *Rank) WriteLine(a Addr, data []byte) {
 	r.geom.validate(a)
 	if len(data) != r.geom.LineBytes() {
 		panic(fmt.Sprintf("dram: WriteLine with %d bytes, want %d", len(data), r.geom.LineBytes()))
 	}
+	key := r.geom.flat(a)
+	if buf, ok := r.store[key]; ok {
+		copy(buf, data)
+		return
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	r.store[r.geom.flat(a)] = buf
+	r.store[key] = buf
 }
 
 // ReadLine fetches a line with all applicable fault corruption applied.
 // Symbol s of beat b sits at offset b*DevicesPerRank + s and comes from
 // device s.
 func (r *Rank) ReadLine(a Addr) []byte {
+	return r.ReadLineInto(a, make([]byte, r.geom.LineBytes()))
+}
+
+// ReadLineInto is ReadLine with a caller-owned buffer of LineBytes() bytes,
+// which is overwritten and returned; it performs no heap allocations.
+func (r *Rank) ReadLineInto(a Addr, out []byte) []byte {
 	r.geom.validate(a)
-	out := make([]byte, r.geom.LineBytes())
+	if len(out) != r.geom.LineBytes() {
+		panic(fmt.Sprintf("dram: ReadLineInto with %d bytes, want %d", len(out), r.geom.LineBytes()))
+	}
 	if stored, ok := r.store[r.geom.flat(a)]; ok {
 		copy(out, stored)
+	} else {
+		clear(out)
 	}
 	for i := range r.faults {
 		r.faults[i].corrupt(r, a, out)

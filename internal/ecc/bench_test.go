@@ -1,0 +1,75 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The scheme-level decode benchmarks cover the codeword geometries the
+// functional data path (package core) decodes on every access: the relaxed
+// (18,16) code, the upgraded SCCDCD (36,32) code, the sparing code with a
+// remapped position, and the §5.1 (72,64) code. Run with -benchmem: the
+// DecodeInto paths must report zero allocs/op.
+
+func benchScheme(b *testing.B, s Scheme, nbad int) {
+	r := rand.New(rand.NewSource(1))
+	data := make([]byte, s.DataSymbols())
+	r.Read(data)
+	cw := s.Encode(data)
+	for _, pos := range r.Perm(s.TotalSymbols())[:nbad] {
+		cw[pos] ^= byte(1 + r.Intn(255))
+	}
+	scr := s.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecodeInto(cw, scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeIntoRelaxedClean(b *testing.B)   { benchScheme(b, NewRelaxed(), 0) }
+func BenchmarkDecodeIntoRelaxed1Err(b *testing.B)    { benchScheme(b, NewRelaxed(), 1) }
+func BenchmarkDecodeIntoSCCDCDClean(b *testing.B)    { benchScheme(b, NewSCCDCD(), 0) }
+func BenchmarkDecodeIntoSCCDCD1Err(b *testing.B)     { benchScheme(b, NewSCCDCD(), 1) }
+func BenchmarkDecodeIntoEightCheck2Err(b *testing.B) { benchScheme(b, NewEightCheck(), 2) }
+
+// BenchmarkDecodeIntoSpared1Err measures the sparing scheme's
+// erasure+error path: a dead (spared) device babbling plus one new fault.
+func BenchmarkDecodeIntoSpared1Err(b *testing.B) {
+	s := NewDoubleChipSparing()
+	r := rand.New(rand.NewSource(2))
+	data := make([]byte, 32)
+	r.Read(data)
+	cw := make([]byte, 36)
+	copy(cw, data)
+	s.EncodeSparedInto(cw, 7)
+	cw[7] = 0x55
+	cw[20] ^= 0x0F
+	scr := s.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecodeSparedInto(cw, 7, scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeLegacySCCDCD1Err is the allocating wrapper for comparison.
+func BenchmarkDecodeLegacySCCDCD1Err(b *testing.B) {
+	s := NewSCCDCD()
+	r := rand.New(rand.NewSource(3))
+	data := make([]byte, s.DataSymbols())
+	r.Read(data)
+	cw := s.Encode(data)
+	cw[11] ^= 0x42
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

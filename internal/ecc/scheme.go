@@ -31,7 +31,10 @@ var ErrDetected = errors.New("ecc: detected uncorrectable error")
 
 // Result is the outcome of decoding one codeword.
 type Result struct {
-	// Data holds the recovered data symbols (length DataSymbols).
+	// Data holds the recovered data symbols (length DataSymbols). The
+	// allocating Decode returns a fresh slice; DecodeInto's Data aliases
+	// the scratch (or the scratch-held corrected codeword) and is valid
+	// only until the scratch's next use.
 	Data []byte
 	// Corrected lists codeword symbol positions that were repaired.
 	Corrected []int
@@ -39,7 +42,8 @@ type Result struct {
 
 // Scheme is one chipkill-correct code configuration. Implementations are
 // stateless and safe for concurrent use; sparing state is carried explicitly
-// by the caller (see DoubleChipSparing).
+// by the caller (see DoubleChipSparing), and decode working memory by the
+// scheme-specific Scratch.
 type Scheme interface {
 	// Name identifies the scheme in experiment output.
 	Name() string
@@ -55,11 +59,23 @@ type Scheme interface {
 	GuaranteedDetect() int
 	// Encode produces an N-symbol codeword from K data symbols.
 	Encode(data []byte) []byte
+	// EncodeInto computes the codeword in place: cw has TotalSymbols
+	// symbols of which the first DataSymbols hold the data; every other
+	// symbol (check symbols, and the sparing scheme's spare) is
+	// overwritten. It performs no heap allocations.
+	EncodeInto(cw []byte)
 	// Decode recovers the data from a possibly corrupted codeword. It
 	// returns ErrDetected for detected-uncorrectable patterns. Error
 	// patterns beyond GuaranteedDetect bad symbols may silently corrupt
 	// data (SDC) — quantifying that risk is the job of package reliability.
 	Decode(cw []byte) (Result, error)
+	// DecodeInto is Decode against a reusable workspace obtained from this
+	// scheme's NewScratch: zero heap allocations in steady state, with the
+	// Result aliasing the scratch until its next use. The input is not
+	// modified. Decode is the detaching wrapper equivalent.
+	DecodeInto(cw []byte, s *Scratch) (Result, error)
+	// NewScratch allocates a decode workspace sized for this scheme.
+	NewScratch() *Scratch
 }
 
 // rsScheme is the shared shape of the RS-backed schemes.
@@ -78,6 +94,10 @@ func (s *rsScheme) GuaranteedDetect() int { return s.detectGt }
 
 func (s *rsScheme) Encode(data []byte) []byte { return s.code.Encode(data) }
 
+// EncodeInto implements Scheme: the data symbols are the codeword prefix,
+// so this is the underlying code's in-place systematic encode.
+func (s *rsScheme) EncodeInto(cw []byte) { s.code.EncodeInto(cw) }
+
 func (s *rsScheme) Decode(cw []byte) (Result, error) {
 	res, err := s.code.DecodeBounded(cw, s.maxFix)
 	if err != nil {
@@ -85,6 +105,18 @@ func (s *rsScheme) Decode(cw []byte) (Result, error) {
 	}
 	return Result{Data: res.Corrected[:s.code.K()], Corrected: res.ErrorPositions}, nil
 }
+
+// DecodeInto implements Scheme on rs.DecodeScratch; the Result aliases s.
+func (s *rsScheme) DecodeInto(cw []byte, scr *Scratch) (Result, error) {
+	res, err := s.code.DecodeScratch(cw, s.maxFix, scr.rs)
+	if err != nil {
+		return Result{}, ErrDetected
+	}
+	return Result{Data: res.Corrected[:s.code.K()], Corrected: res.ErrorPositions}, nil
+}
+
+// NewScratch implements Scheme.
+func (s *rsScheme) NewScratch() *Scratch { return &Scratch{rs: s.code.NewScratch()} }
 
 // NewRelaxed returns the relaxed-mode code: 16 data + 2 check symbols,
 // single symbol correct / single symbol detect. An 18-device rank serves one

@@ -1,0 +1,19 @@
+package ecc
+
+import "arcc/internal/rs"
+
+// Scratch is a reusable decode workspace for one Scheme, wrapping the
+// underlying rs.Scratch plus the small remap buffer schemes with a
+// non-prefix data layout (double chip sparing) need. Mirroring the rs
+// contract: a Scratch belongs to one decode call at a time, and the Result
+// returned by DecodeInto/DecodeSparedInto aliases the scratch's buffers,
+// valid only until the scratch's next use. Scratches are scheme-specific —
+// obtain one from the Scheme whose DecodeInto it will be passed to.
+type Scratch struct {
+	rs *rs.Scratch
+	// data backs Result.Data when the decoded payload cannot alias the
+	// corrected codeword directly (the sparing scheme's spare-position
+	// un-remap); sized to the scheme's DataSymbols.
+	data    []byte
+	erasure [1]int
+}

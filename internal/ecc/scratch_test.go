@@ -1,0 +1,166 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func randPayload(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// TestDecodeIntoMatchesDecode pins the scratch decode of every scheme to the
+// allocating Decode across clean, single-error, and detected-uncorrectable
+// codewords.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, s := range []Scheme{NewRelaxed(), NewSCCDCD(), NewEightCheck(), NewDoubleChipSparing()} {
+		scr := s.NewScratch()
+		for trial := 0; trial < 200; trial++ {
+			cw := s.Encode(randPayload(r, s.DataSymbols()))
+			// 0, 1, or GuaranteedDetect corruptions.
+			nbad := trial % 3
+			if nbad == 2 {
+				nbad = s.GuaranteedDetect()
+			}
+			for _, pos := range r.Perm(s.TotalSymbols())[:nbad] {
+				cw[pos] ^= byte(1 + r.Intn(255))
+			}
+			want, wantErr := s.Decode(cw)
+			got, gotErr := s.DecodeInto(cw, scr)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: error mismatch: %v vs %v", s.Name(), gotErr, wantErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrDetected) {
+					t.Fatalf("%s: DecodeInto error %v, want ErrDetected", s.Name(), gotErr)
+				}
+				continue
+			}
+			if !bytes.Equal(got.Data, want.Data) {
+				t.Fatalf("%s: data mismatch", s.Name())
+			}
+			if !slices.Equal(got.Corrected, want.Corrected) {
+				t.Fatalf("%s: corrected positions %v vs %v", s.Name(), got.Corrected, want.Corrected)
+			}
+		}
+	}
+}
+
+// TestEncodeIntoMatchesEncode pins the in-place encode of every scheme to
+// the allocating Encode.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for _, s := range []Scheme{NewRelaxed(), NewSCCDCD(), NewEightCheck(), NewDoubleChipSparing()} {
+		for trial := 0; trial < 50; trial++ {
+			data := randPayload(r, s.DataSymbols())
+			want := s.Encode(data)
+			cw := make([]byte, s.TotalSymbols())
+			copy(cw, data)
+			// Dirty the non-data symbols to prove they are overwritten.
+			for i := s.DataSymbols(); i < len(cw); i++ {
+				cw[i] = 0xAA
+			}
+			s.EncodeInto(cw)
+			if !bytes.Equal(cw, want) {
+				t.Fatalf("%s: EncodeInto mismatch", s.Name())
+			}
+		}
+	}
+}
+
+// TestSparedIntoMatchesSpared pins the sparing scheme's scratch paths to the
+// allocating ones with a remapped position, including the second-fault
+// correction the spare enables.
+func TestSparedIntoMatchesSpared(t *testing.T) {
+	s := NewDoubleChipSparing()
+	scr := s.NewScratch()
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		data := randPayload(r, 32)
+		sparedPos := r.Intn(32)
+		want := s.EncodeSpared(data, sparedPos)
+		cw := make([]byte, 36)
+		copy(cw, data)
+		s.EncodeSparedInto(cw, sparedPos)
+		if !bytes.Equal(cw, want) {
+			t.Fatal("EncodeSparedInto mismatch")
+		}
+		// The dead device babbles, and a second fault may hit elsewhere.
+		cw[sparedPos] = byte(r.Intn(256))
+		if trial%2 == 0 {
+			cw[(sparedPos+1+r.Intn(35))%36] ^= byte(1 + r.Intn(255))
+		}
+		wantRes, wantErr := s.DecodeSpared(cw, sparedPos)
+		gotRes, gotErr := s.DecodeSparedInto(cw, sparedPos, scr)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !bytes.Equal(gotRes.Data, wantRes.Data) {
+			t.Fatal("spared decode data mismatch")
+		}
+		if !bytes.Equal(gotRes.Data, data) {
+			t.Fatal("spared decode did not recover the data")
+		}
+		if !slices.Equal(gotRes.Corrected, wantRes.Corrected) {
+			t.Fatalf("spared corrected positions %v vs %v", gotRes.Corrected, wantRes.Corrected)
+		}
+	}
+}
+
+// TestDecodeIntoAllocationFree pins the scheme-level scratch decode paths to
+// zero heap allocations for the clean and single-error cases of every
+// scheme, plus the sparing scheme's erasure path.
+func TestDecodeIntoAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	for _, s := range []Scheme{NewRelaxed(), NewSCCDCD(), NewEightCheck(), NewDoubleChipSparing()} {
+		scr := s.NewScratch()
+		clean := s.Encode(randPayload(r, s.DataSymbols()))
+		oneErr := append([]byte(nil), clean...)
+		oneErr[5] ^= 0x3C
+		for name, cw := range map[string][]byte{"clean": clean, "1err": oneErr} {
+			f := func() {
+				if _, err := s.DecodeInto(cw, scr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			f() // warm up
+			if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+				t.Errorf("%s/%s: %v allocs/op, want 0", s.Name(), name, allocs)
+			}
+		}
+		buf := make([]byte, s.TotalSymbols())
+		copy(buf, clean)
+		enc := func() { s.EncodeInto(buf) }
+		enc()
+		if allocs := testing.AllocsPerRun(100, enc); allocs != 0 {
+			t.Errorf("%s/EncodeInto: %v allocs/op, want 0", s.Name(), allocs)
+		}
+	}
+
+	sp := NewDoubleChipSparing()
+	scr := sp.NewScratch()
+	data := randPayload(r, 32)
+	cw := make([]byte, 36)
+	copy(cw, data)
+	sp.EncodeSparedInto(cw, 7)
+	cw[7] = 0x55 // dead device babbles
+	cw[20] ^= 1  // plus a second fault
+	f := func() {
+		if _, err := sp.DecodeSparedInto(cw, 7, scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f()
+	if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+		t.Errorf("sparing/spared+1err: %v allocs/op, want 0", allocs)
+	}
+}

@@ -77,6 +77,30 @@ func (s *DoubleChipSparing) EncodeSpared(data []byte, sparedPos int) []byte {
 	return s.code.Encode(payload)
 }
 
+// EncodeInto implements Scheme: cw[0:32] hold the data; the spare (position
+// 32) and the check symbols are overwritten in place.
+func (s *DoubleChipSparing) EncodeInto(cw []byte) { s.EncodeSparedInto(cw, -1) }
+
+// EncodeSparedInto is EncodeSpared in place: cw[0:32] hold the data laid
+// out at their natural positions; the spare remap (move cw[sparedPos] to
+// the spare, zero the dead position) and the check symbols are applied
+// directly to cw. It performs no heap allocations.
+func (s *DoubleChipSparing) EncodeSparedInto(cw []byte, sparedPos int) {
+	if len(cw) != 36 {
+		panic(fmt.Sprintf("ecc: sparing EncodeInto with %d symbols, want 36", len(cw)))
+	}
+	if sparedPos >= 32 {
+		panic(fmt.Sprintf("ecc: cannot spare non-data position %d", sparedPos))
+	}
+	if sparedPos < 0 {
+		cw[SparePosition] = 0
+	} else {
+		cw[SparePosition] = cw[sparedPos]
+		cw[sparedPos] = 0
+	}
+	s.code.EncodeInto(cw)
+}
+
 // Decode implements Scheme, decoding with no spared position.
 func (s *DoubleChipSparing) Decode(cw []byte) (Result, error) {
 	return s.DecodeSpared(cw, -1)
@@ -108,6 +132,46 @@ func (s *DoubleChipSparing) DecodeSpared(cw []byte, sparedPos int) (Result, erro
 		data[sparedPos] = res.Corrected[SparePosition]
 	}
 	return Result{Data: data, Corrected: res.ErrorPositions}, nil
+}
+
+// DecodeInto implements Scheme, decoding with no spared position against
+// the reusable workspace; the Result aliases scr.
+func (s *DoubleChipSparing) DecodeInto(cw []byte, scr *Scratch) (Result, error) {
+	return s.DecodeSparedInto(cw, -1, scr)
+}
+
+// DecodeSparedInto is DecodeSpared against a reusable workspace: zero heap
+// allocations in steady state, with the Result aliasing scr until its next
+// use (for spared codewords Data is scr's remap buffer; otherwise it aliases
+// the corrected codeword directly).
+func (s *DoubleChipSparing) DecodeSparedInto(cw []byte, sparedPos int, scr *Scratch) (Result, error) {
+	if len(cw) != 36 {
+		panic(fmt.Sprintf("ecc: sparing Decode with %d symbols, want 36", len(cw)))
+	}
+	var res rs.Result
+	var err error
+	if sparedPos < 0 {
+		res, err = s.code.DecodeScratch(cw, 1, scr.rs)
+	} else {
+		// One erasure (the dead device) + up to one unknown error uses
+		// exactly the three check symbols: 2*1 + 1 = 3.
+		scr.erasure[0] = sparedPos
+		res, err = s.code.DecodeErrorsErasuresScratch(cw, scr.erasure[:], 1, scr.rs)
+	}
+	if err != nil {
+		return Result{}, ErrDetected
+	}
+	if sparedPos < 0 {
+		return Result{Data: res.Corrected[:32], Corrected: res.ErrorPositions}, nil
+	}
+	copy(scr.data, res.Corrected[:32])
+	scr.data[sparedPos] = res.Corrected[SparePosition]
+	return Result{Data: scr.data, Corrected: res.ErrorPositions}, nil
+}
+
+// NewScratch implements Scheme.
+func (s *DoubleChipSparing) NewScratch() *Scratch {
+	return &Scratch{rs: s.code.NewScratch(), data: make([]byte, 32)}
 }
 
 var _ Scheme = (*DoubleChipSparing)(nil)

@@ -35,8 +35,8 @@ type Options struct {
 
 // mcOpts returns the engine options for channel-sharded Monte Carlo. The
 // reliability sweeps behind the lifetime figures run on the engine's
-// per-shard scratch path: each shard reuses one fault-arrival buffer
-// across its trials, so the per-trial hot loop does not allocate.
+// scratch path: each worker reuses one fault-arrival buffer across the
+// trials it executes, so the per-trial hot loop does not allocate.
 func (o Options) mcOpts() mc.Options {
 	return mc.Options{Parallelism: o.Parallel, Progress: o.Progress}
 }

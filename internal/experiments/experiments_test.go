@@ -222,3 +222,28 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestFig7xIdenticalAtAnyParallelism pins the scratch-threaded simulator
+// fan-outs to the engine's bit-identical contract: the rendered Fig 7.1 and
+// Fig 7.3 exhibits are byte-identical at parallelism 1, 4, and GOMAXPROCS,
+// even though each worker reuses one sim.Scratch across its runs.
+func TestFig7xIdenticalAtAnyParallelism(t *testing.T) {
+	render := func(parallel int) (string, string) {
+		o := quick()
+		o.Parallel = parallel
+		var b71, b73 bytes.Buffer
+		Fig71(o).Fprint(&b71)
+		Fig73(o).Fprint(&b73)
+		return b71.String(), b73.String()
+	}
+	want71, want73 := render(1)
+	for _, par := range []int{4, 0} {
+		got71, got73 := render(par)
+		if got71 != want71 {
+			t.Errorf("Fig 7.1 drifted at parallelism %d:\n%s\nvs serial:\n%s", par, got71, want71)
+		}
+		if got73 != want73 {
+			t.Errorf("Fig 7.3 drifted at parallelism %d:\n%s\nvs serial:\n%s", par, got73, want73)
+		}
+	}
+}

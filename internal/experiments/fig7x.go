@@ -49,12 +49,13 @@ func Fig71(o Options) Fig71Result {
 	var res Fig71Result
 	mixes := workload.Mixes()
 	type pair struct{ base, arcc sim.Result }
-	pairs := mc.Map(len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) pair {
-		return pair{
-			base: runMix(mixes[i], sim.Baseline, 0, o),
-			arcc: runMix(mixes[i], sim.ARCC, 0, o),
-		}
-	})
+	pairs := mc.MapScratch(len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+		func(_ *rand.Rand, i int, s *sim.Scratch) pair {
+			return pair{
+				base: runMix(mixes[i], sim.Baseline, 0, o, s),
+				arcc: runMix(mixes[i], sim.ARCC, 0, o, s),
+			}
+		})
 	for i, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
 		res.PowerReduction = append(res.PowerReduction, 1-pairs[i].arcc.PowerMW/pairs[i].base.PowerMW)
@@ -100,15 +101,17 @@ func faultSweep(o Options, metric string) FaultSweepResult {
 	mixes := workload.Mixes()
 	// Fault-free reference runs, then every (scenario, mix) cell, each a
 	// whole simulator run fanned out across the engine's workers.
-	clean := mc.Map(len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) sim.Result {
-		return runMix(mixes[i], sim.ARCC, 0, o)
-	})
+	clean := mc.MapScratch(len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+		func(_ *rand.Rand, i int, s *sim.Scratch) sim.Result {
+			return runMix(mixes[i], sim.ARCC, 0, o, s)
+		})
 	for i := range mixes {
 		res.Mixes = append(res.Mixes, mixes[i].Name)
 	}
-	cells := mc.Map(len(res.Scenarios)*len(mixes), o.seed(), o.simOpts(), func(_ *rand.Rand, i int) sim.Result {
-		return runMix(mixes[i%len(mixes)], sim.ARCC, res.Scenarios[i/len(mixes)].Fraction, o)
-	})
+	cells := mc.MapScratch(len(res.Scenarios)*len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+		func(_ *rand.Rand, i int, s *sim.Scratch) sim.Result {
+			return runMix(mixes[i%len(mixes)], sim.ARCC, res.Scenarios[i/len(mixes)].Fraction, o, s)
+		})
 	for s, sc := range res.Scenarios {
 		row := make([]float64, len(mixes))
 		for i := range mixes {
@@ -162,11 +165,11 @@ func (r FaultSweepResult) Fprint(w io.Writer) {
 	fprintf(w, "\n")
 }
 
-// runMix runs one sim configuration.
-func runMix(mix workload.Mix, system sim.MemorySystem, upgradedFraction float64, o Options) sim.Result {
+// runMix runs one sim configuration against the shard's scratch.
+func runMix(mix workload.Mix, system sim.MemorySystem, upgradedFraction float64, o Options, s *sim.Scratch) sim.Result {
 	cfg := sim.DefaultConfig(mix, system)
 	cfg.InstructionsPerCore = o.instructions()
 	cfg.UpgradedFraction = upgradedFraction
 	cfg.Seed = o.seed()
-	return sim.Run(cfg)
+	return sim.RunWith(cfg, s)
 }

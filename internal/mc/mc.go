@@ -14,9 +14,11 @@
 // inline on the calling goroutine with no pool at all.
 //
 // Jobs whose trials need working buffers (fault-arrival histories, decode
-// workspaces) set NewScratch/TrialScratch: the engine creates one scratch
-// workspace per shard and threads it through the shard's trials, so the
-// steady-state trial loop allocates nothing.
+// workspaces, whole simulator-run state) set NewScratch/TrialScratch: the
+// engine creates one scratch workspace per worker and threads it through
+// every trial that worker executes, so the steady-state trial loop
+// allocates nothing. A scratch carries capacity, never state, which keeps
+// results independent of how shards are distributed over workers.
 package mc
 
 import (
@@ -56,13 +58,15 @@ type Job struct {
 	// Trial runs trial number trial (0-based, global across shards) using
 	// the shard's rng and records its result in acc.
 	Trial func(rng *rand.Rand, trial int, acc Accumulator)
-	// NewScratch, optional, allocates a per-shard scratch workspace. It is
-	// created once per shard and handed to every TrialScratch call of that
-	// shard, so per-trial working buffers (fault-arrival histories, decode
-	// workspaces) are reused across the shard's trials instead of
-	// reallocated per trial. The scratch must not influence results —
-	// trials may not read state a previous trial left behind — so the
-	// engine's bit-identical-at-any-parallelism contract is preserved.
+	// NewScratch, optional, allocates a scratch workspace. It is created
+	// once per worker and handed to every TrialScratch call that worker
+	// executes, so per-trial working buffers (fault-arrival histories,
+	// decode workspaces, whole simulator-run state) are reused across all
+	// the shards a worker drains instead of reallocated per trial or per
+	// shard. The scratch must not influence results — trials may not read
+	// state a previous trial left behind — so the engine's
+	// bit-identical-at-any-parallelism contract is preserved regardless of
+	// which shards share a workspace.
 	NewScratch func() any
 	// TrialScratch is Trial with the shard's scratch workspace. Set it
 	// (instead of Trial) together with NewScratch for allocation-free
@@ -120,7 +124,13 @@ func Run(job Job, opts Options) Accumulator {
 	shards := (job.Trials + size - 1) / size
 	accs := make([]Accumulator, shards)
 
-	runShard := func(s int) {
+	newScratch := func() any {
+		if job.NewScratch != nil {
+			return job.NewScratch()
+		}
+		return nil
+	}
+	runShard := func(s int, scratch any) {
 		rng := rand.New(rand.NewSource(ShardSeed(job.Seed, s)))
 		acc := job.NewAcc()
 		lo := s * size
@@ -129,10 +139,6 @@ func Run(job Job, opts Options) Accumulator {
 			hi = job.Trials
 		}
 		if job.TrialScratch != nil {
-			var scratch any
-			if job.NewScratch != nil {
-				scratch = job.NewScratch()
-			}
 			for t := lo; t < hi; t++ {
 				job.TrialScratch(rng, t, acc, scratch)
 			}
@@ -149,9 +155,10 @@ func Run(job Job, opts Options) Accumulator {
 		workers = shards
 	}
 	if workers <= 1 {
+		scratch := newScratch()
 		done := 0
 		for s := 0; s < shards; s++ {
-			runShard(s)
+			runShard(s, scratch)
 			done += shardTrials(s, size, job.Trials)
 			if opts.Progress != nil {
 				opts.Progress(done, job.Trials)
@@ -168,8 +175,9 @@ func Run(job Job, opts Options) Accumulator {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				scratch := newScratch()
 				for s := range shardCh {
-					runShard(s)
+					runShard(s, scratch)
 					if opts.Progress != nil {
 						mu.Lock()
 						done += shardTrials(s, size, job.Trials)
@@ -268,6 +276,40 @@ func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial in
 			ma := a.(*mapAcc[T])
 			ma.idx = append(ma.idx, trial)
 			ma.vals = append(ma.vals, f(rng, trial))
+		},
+	}, opts)
+	ma := acc.(*mapAcc[T])
+	out := make([]T, n)
+	for i, idx := range ma.idx {
+		out[idx] = ma.vals[i]
+	}
+	return out
+}
+
+// MapScratch is Map with a reusable scratch workspace, mirroring the
+// Job.NewScratch/TrialScratch pair: newScratch runs once per worker and its
+// result is threaded through every trial that worker executes. Like Job
+// scratch, the workspace must carry capacity only — a trial must not read
+// state a previous trial left behind — so results stay bit-identical at any
+// parallelism. sim.RunReplicated and the Fig 7.1-7.3 fan-outs thread a
+// sim.Scratch this way, so consecutive simulator runs on a worker reuse one
+// world's backing arrays.
+func MapScratch[T, S any](n int, seed int64, opts Options, newScratch func() S, f func(rng *rand.Rand, trial int, scratch S) T) []T {
+	size := opts.shardSize()
+	if size > n {
+		size = n
+	}
+	acc := Run(Job{
+		Trials: n,
+		Seed:   seed,
+		NewAcc: func() Accumulator {
+			return &mapAcc[T]{idx: make([]int, 0, size), vals: make([]T, 0, size)}
+		},
+		NewScratch: func() any { return newScratch() },
+		TrialScratch: func(rng *rand.Rand, trial int, a Accumulator, scratch any) {
+			ma := a.(*mapAcc[T])
+			ma.idx = append(ma.idx, trial)
+			ma.vals = append(ma.vals, f(rng, trial, scratch.(S)))
 		},
 	}, opts)
 	ma := acc.(*mapAcc[T])

@@ -175,27 +175,33 @@ func TestTrialScratchMatchesTrialAcrossParallelism(t *testing.T) {
 	}
 }
 
-func TestNewScratchCalledOncePerShard(t *testing.T) {
-	var mu sync.Mutex
-	created := 0
-	job := Job{
-		Trials: 100,
-		Seed:   1,
-		NewAcc: func() Accumulator { return &sumAcc{} },
-		NewScratch: func() any {
-			mu.Lock()
-			created++
-			mu.Unlock()
-			return new(int)
-		},
-		TrialScratch: func(_ *rand.Rand, _ int, acc Accumulator, scratch any) {
-			*(scratch.(*int))++ // panics if scratch were nil
-			acc.(*sumAcc).count++
-		},
-	}
-	Run(job, Options{Parallelism: 4, ShardSize: 10})
-	if created != 10 {
-		t.Fatalf("NewScratch called %d times, want once per shard (10)", created)
+func TestNewScratchCalledOncePerWorker(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var mu sync.Mutex
+		created := 0
+		job := Job{
+			Trials: 100,
+			Seed:   1,
+			NewAcc: func() Accumulator { return &sumAcc{} },
+			NewScratch: func() any {
+				mu.Lock()
+				created++
+				mu.Unlock()
+				return new(int)
+			},
+			TrialScratch: func(_ *rand.Rand, _ int, acc Accumulator, scratch any) {
+				*(scratch.(*int))++ // panics if scratch were nil
+				acc.(*sumAcc).count++
+			},
+		}
+		Run(job, Options{Parallelism: par, ShardSize: 10})
+		// One workspace per worker — the shards a worker drains share it.
+		if created < 1 || created > par {
+			t.Fatalf("parallelism %d: NewScratch called %d times, want 1..%d (once per worker)", par, created, par)
+		}
+		if par == 1 && created != 1 {
+			t.Fatalf("serial: NewScratch called %d times, want exactly 1", created)
+		}
 	}
 }
 
@@ -262,5 +268,48 @@ func TestRunPanicsOnBadJob(t *testing.T) {
 			}()
 			Run(job, Options{})
 		}()
+	}
+}
+
+// TestMapScratchMatchesMap pins MapScratch to Map: same trial order, same
+// results, one scratch per shard threaded through that shard's trials, at
+// any parallelism.
+func TestMapScratchMatchesMap(t *testing.T) {
+	const n, seed = 103, int64(5)
+	f := func(rng *rand.Rand, trial int) float64 { return rng.Float64() + float64(trial) }
+	want := Map(n, seed, Options{Parallelism: 1, ShardSize: 8}, f)
+	for _, par := range []int{1, 4, 0} {
+		var mu sync.Mutex
+		scratches := 0
+		got := MapScratch(n, seed, Options{Parallelism: par, ShardSize: 8},
+			func() *[]int {
+				mu.Lock()
+				scratches++
+				mu.Unlock()
+				s := make([]int, 0, 8)
+				return &s
+			},
+			func(rng *rand.Rand, trial int, s *[]int) float64 {
+				*s = append(*s, trial) // scratch carries capacity; contents unused
+				return f(rng, trial)
+			})
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d results, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: result %d = %v, want %v", par, i, got[i], want[i])
+			}
+		}
+		workers := par
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if shards := (n + 7) / 8; workers > shards {
+			workers = shards
+		}
+		if scratches < 1 || scratches > workers {
+			t.Errorf("parallelism %d: newScratch called %d times, want 1..%d (once per worker)", par, scratches, workers)
+		}
 	}
 }

@@ -101,6 +101,24 @@ func New(cfg Config, meter *power.Meter) *Controller {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// Reset returns the controller to its post-New state — all banks and buses
+// free, all rows precharged, counters zeroed — reusing the backing arrays.
+// The attached power meter (if any) is NOT reset; callers that reuse a
+// controller across runs reset the meter alongside (sim.Scratch does).
+func (c *Controller) Reset() {
+	for i := range c.bankFree {
+		clear(c.bankFree[i])
+		rows := c.openRow[i]
+		for j := range rows {
+			rows[j] = -1
+		}
+	}
+	clear(c.busFree)
+	c.reads, c.writes = 0, 0
+	c.busBusy, c.bankBusy = 0, 0
+	c.lastCompletion = 0
+}
+
 // TotalBanks returns channels * ranks * banks — the parallelism available.
 func (c *Controller) TotalBanks() int {
 	return c.cfg.Channels * c.cfg.RanksPerChannel * c.cfg.BanksPerRank

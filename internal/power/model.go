@@ -11,6 +11,16 @@ import "fmt"
 type Meter struct {
 	params DeviceParams
 
+	// actEnergy caches params.ActivateEnergy(); burstBeats/readEnergy/
+	// writeEnergy memoise the per-burst energies for the last beat count
+	// seen (controllers use one fixed burst length, so this is a plain
+	// cache hit on every record). Recording an event is then one multiply
+	// and one add — the meter sits on the simulator's per-access path.
+	actEnergy   float64
+	burstBeats  int
+	readEnergy  float64
+	writeEnergy float64
+
 	activates    int64
 	readBursts   int64
 	writeBursts  int64
@@ -20,7 +30,7 @@ type Meter struct {
 
 // NewMeter creates a Meter for devices with the given parameters.
 func NewMeter(params DeviceParams) *Meter {
-	return &Meter{params: params}
+	return &Meter{params: params, actEnergy: params.ActivateEnergy(), burstBeats: -1}
 }
 
 // Params returns the device parameters the meter uses.
@@ -30,23 +40,35 @@ func (m *Meter) Params() DeviceParams { return m.params }
 func (m *Meter) RecordActivate(devices int) {
 	m.checkDevices(devices)
 	m.activates++
-	m.opEnergyNJ += float64(devices) * m.params.ActivateEnergy()
+	m.opEnergyNJ += float64(devices) * m.actEnergy
 }
 
 // RecordRead charges a read burst of beats beats on each of devices.
 func (m *Meter) RecordRead(devices, beats int) {
 	m.checkDevices(devices)
+	if beats != m.burstBeats {
+		m.memoBurst(beats)
+	}
 	m.readBursts++
 	m.deviceBursts += int64(devices)
-	m.opEnergyNJ += float64(devices) * m.params.ReadBurstEnergy(beats)
+	m.opEnergyNJ += float64(devices) * m.readEnergy
 }
 
 // RecordWrite charges a write burst of beats beats on each of devices.
 func (m *Meter) RecordWrite(devices, beats int) {
 	m.checkDevices(devices)
+	if beats != m.burstBeats {
+		m.memoBurst(beats)
+	}
 	m.writeBursts++
 	m.deviceBursts += int64(devices)
-	m.opEnergyNJ += float64(devices) * m.params.WriteBurstEnergy(beats)
+	m.opEnergyNJ += float64(devices) * m.writeEnergy
+}
+
+func (m *Meter) memoBurst(beats int) {
+	m.burstBeats = beats
+	m.readEnergy = m.params.ReadBurstEnergy(beats)
+	m.writeEnergy = m.params.WriteBurstEnergy(beats)
 }
 
 func (m *Meter) checkDevices(devices int) {

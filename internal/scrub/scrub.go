@@ -42,6 +42,12 @@ type Scrubber struct {
 	algo        Algorithm
 	secondLevel bool // §5.1: promote faulty upgraded pages to Upgraded8
 
+	// Pattern-test working buffers, allocated once: the all-zeros and
+	// all-ones patterns plus the set-aside original content and read-back
+	// buffer. With these (and the controller's own scratch) a steady-state
+	// scrub pass performs zero heap allocations.
+	zeros, ones, orig, back []byte
+
 	stats Stats
 }
 
@@ -62,7 +68,15 @@ func New(mem *core.Controller, algo Algorithm) *Scrubber {
 	if algo != FourStep && algo != Conventional {
 		panic(fmt.Sprintf("scrub: unknown algorithm %d", algo))
 	}
-	return &Scrubber{mem: mem, algo: algo}
+	const stored = 72 // stored bytes per sub-line (64 data + 8 redundant)
+	return &Scrubber{
+		mem:   mem,
+		algo:  algo,
+		zeros: make([]byte, stored),
+		ones:  bytes.Repeat([]byte{0xFF}, stored),
+		orig:  make([]byte, stored),
+		back:  make([]byte, stored),
+	}
 }
 
 // Stats returns a snapshot of accumulated statistics.
@@ -74,22 +88,20 @@ func (s *Scrubber) Stats() Stats { return s.stats }
 // memory scrub".
 func (s *Scrubber) ScrubPage(page int) bool {
 	faulty := false
-	zeros := make([]byte, 72)
-	ones := bytes.Repeat([]byte{0xFF}, 72)
 	for line := 0; line < core.LinesPerPage; line++ {
 		s.stats.LinesScrubbed++
 		switch s.algo {
 		case FourStep:
 			// Step 1: read and set aside.
-			orig := s.mem.RawRead(page, line)
+			orig := s.mem.RawReadInto(page, line, s.orig)
 			// Step 2: all-zeros pattern exposes stuck-at-1.
-			s.mem.RawWrite(page, line, zeros)
-			back := s.mem.RawRead(page, line)
-			patternFault := !bytes.Equal(back, zeros)
+			s.mem.RawWrite(page, line, s.zeros)
+			back := s.mem.RawReadInto(page, line, s.back)
+			patternFault := !bytes.Equal(back, s.zeros)
 			// Step 3: all-ones pattern exposes stuck-at-0.
-			s.mem.RawWrite(page, line, ones)
-			back = s.mem.RawRead(page, line)
-			if !bytes.Equal(back, ones) {
+			s.mem.RawWrite(page, line, s.ones)
+			back = s.mem.RawReadInto(page, line, s.back)
+			if !bytes.Equal(back, s.ones) {
 				patternFault = true
 			}
 			// Step 4: restore original content, then let the ECC repair it.

@@ -232,3 +232,21 @@ func TestRepeatedScrubsStable(t *testing.T) {
 		t.Fatalf("second scrub changed upgraded count %d -> %d", upgradedAfterFirst, got)
 	}
 }
+
+// TestScrubPageAllocationFree pins the steady-state scrub pass to zero heap
+// allocations: the pattern buffers live in the Scrubber, the decode and
+// line buffers in the controller, and the DRAM backing store reuses its
+// per-line buffers once a line has been written.
+func TestScrubPageAllocationFree(t *testing.T) {
+	for _, algo := range []Algorithm{FourStep, Conventional} {
+		mem := newMem(t)
+		r := rand.New(rand.NewSource(21))
+		fillPage(t, mem, 0, r)
+		mem.InjectFault(0, 0, dram.Fault{Device: 3, Scope: dram.ScopeDevice, Mode: dram.StuckAt1})
+		s := New(mem, algo)
+		s.ScrubPage(0) // warm up: the pattern writes create store entries
+		if allocs := testing.AllocsPerRun(5, func() { s.ScrubPage(0) }); allocs != 0 {
+			t.Errorf("%v: ScrubPage: %v allocs/op, want 0", algo, allocs)
+		}
+	}
+}

@@ -34,16 +34,18 @@ func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 	}
 	// One replica per shard: a full simulator run is far too heavy to
 	// batch, and per-run seeding (not the shard stream) fixes each
-	// replica's randomness. A whole-run replica has no per-trial working
-	// buffers to carry in a shard scratch — each Run builds its own world —
-	// so this fan-out rides mc.Map's presized result collection rather
-	// than the NewScratch/TrialScratch path the lifetime Monte Carlos use.
+	// replica's randomness. Each worker threads one sim.Scratch through
+	// the replicas it executes, so a run reuses the previous run's cores,
+	// LLC backing arrays, and controller state instead of rebuilding the
+	// world; the scratch carries capacity only, so the aggregate stays
+	// bit-identical to a serial execution.
 	type rp struct{ ipc, power float64 }
-	results := mc.Map(runs, cfg.Seed, mc.Options{Parallelism: parallelism, ShardSize: 1},
-		func(_ *rand.Rand, i int) rp {
+	results := mc.MapScratch(runs, cfg.Seed, mc.Options{Parallelism: parallelism, ShardSize: 1},
+		NewScratch,
+		func(_ *rand.Rand, i int, scratch *Scratch) rp {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i) + 1
-			r := Run(c)
+			r := RunWith(c, scratch)
 			return rp{ipc: r.IPCSum, power: r.PowerMW}
 		})
 	ipcs := make([]float64, runs)

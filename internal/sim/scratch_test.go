@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"arcc/internal/workload"
+)
+
+func quickCfg(system MemorySystem, upgraded float64, seed int64) Config {
+	cfg := DefaultConfig(workload.Mixes()[0], system)
+	cfg.InstructionsPerCore = 30_000
+	cfg.UpgradedFraction = upgraded
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestRunWithMatchesRun pins the scratch entry point to Run: a fresh
+// scratch, a heavily reused scratch, and the pooled Run wrapper all produce
+// bit-identical results, including across config changes (different memory
+// system, upgraded fraction, seed) on the same scratch.
+func TestRunWithMatchesRun(t *testing.T) {
+	configs := []Config{
+		quickCfg(Baseline, 0, 1),
+		quickCfg(ARCC, 0, 1),
+		quickCfg(ARCC, 0.3, 1),
+		quickCfg(ARCC, 1, 7),
+		quickCfg(Baseline, 0, 7),
+	}
+	reused := NewScratch()
+	// Warm the reused scratch with an unrelated geometry so reuse paths
+	// (reset vs rebuild) are both exercised.
+	small := quickCfg(ARCC, 0.5, 3)
+	small.LLCBytes = 1 << 18
+	RunWith(small, reused)
+	for i, cfg := range configs {
+		want := RunWith(cfg, nil)
+		if got := RunWith(cfg, reused); got != want {
+			t.Errorf("config %d: reused scratch diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+		if got := Run(cfg); got != want {
+			t.Errorf("config %d: pooled Run diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestRunWithSteadyStateAllocationFree pins the whole simulator run to zero
+// heap allocations once its scratch is warm: LLC fills and evictions, core
+// miss issue, writeback dedup, and the memory/power bookkeeping all run on
+// reused state.
+func TestRunWithSteadyStateAllocationFree(t *testing.T) {
+	for _, system := range []MemorySystem{Baseline, ARCC} {
+		cfg := quickCfg(system, 0.3, 2)
+		cfg.InstructionsPerCore = 5_000
+		s := NewScratch()
+		RunWith(cfg, s) // warm up: sizes every buffer
+		allocs := testing.AllocsPerRun(5, func() { RunWith(cfg, s) })
+		if allocs != 0 {
+			t.Errorf("%v: RunWith steady state: %v allocs/op, want 0", system, allocs)
+		}
+	}
+}
+
+// BenchmarkSimRunSteadyState measures one full quick-profile simulator run
+// against a warm scratch — the unit the Fig 7.1-7.3 sweeps repeat hundreds
+// of times. Allocations should be zero.
+func BenchmarkSimRunSteadyState(b *testing.B) {
+	cfg := quickCfg(ARCC, 0.3, 1)
+	cfg.InstructionsPerCore = 150_000 // the experiments' quick budget
+	s := NewScratch()
+	RunWith(cfg, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunWith(cfg, s)
+	}
+}

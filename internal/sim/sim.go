@@ -12,6 +12,8 @@ package sim
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"arcc/internal/cache"
 	"arcc/internal/cpu"
@@ -114,8 +116,176 @@ func withRefresh(t memctrl.Timing) memctrl.Timing {
 	return t
 }
 
-// Run executes one simulation.
+// Scratch holds the reusable working state of one simulation run: the four
+// cores and their LLC backing arrays, the memory controller and power meter
+// of the last system simulated, the reusable workload streams, and the
+// (tiny) per-miss eviction and writeback buffers. A Scratch carries capacity
+// only — RunWith fully resets every component before use — so for a given
+// Config the result is bit-identical whether the scratch is fresh or reused.
+// A Scratch serves one run at a time and is not safe for concurrent use;
+// mc-driven fan-outs thread one per shard (mc.MapScratch), and the plain Run
+// entry point borrows one from an internal pool.
+type Scratch struct {
+	cores   [4]*cpu.Core
+	streams [4]*workload.Stream
+
+	llcs               [4]*cache.LLC
+	llcBytes, llcAssoc int
+	llcPolicy          cache.Policy
+
+	// One controller+meter per memory system, so a scratch alternating
+	// between Baseline and ARCC runs (the Fig 7.1 comparison) reuses both.
+	mem     [2]*memctrl.Controller
+	meter   [2]*power.Meter
+	pairing [2]memctrl.Pairing
+
+	evs     []cache.Eviction
+	handled []uint64
+	fetch   missIssuer
+}
+
+// NewScratch returns an empty scratch; RunWith sizes its components to the
+// first config it runs (and re-sizes them if the config's geometry changes).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// memorySystem returns the scratch's controller+meter for cfg, reusing the
+// (reset) pair built for the same memory system on an earlier run.
+func (s *Scratch) memorySystem(cfg Config) (*memctrl.Controller, *power.Meter) {
+	if cfg.System != Baseline && cfg.System != ARCC {
+		panic(fmt.Sprintf("sim: unknown system %d", cfg.System))
+	}
+	i := int(cfg.System)
+	if s.mem[i] != nil && s.pairing[i] == cfg.Pairing {
+		s.mem[i].Reset()
+		s.meter[i].Reset()
+		return s.mem[i], s.meter[i]
+	}
+	switch cfg.System {
+	case Baseline:
+		s.meter[i] = power.NewMeter(power.Micron512MbX4())
+		s.mem[i] = memctrl.New(memctrl.Config{
+			Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+			Timing: withRefresh(memctrl.DDR2X4Timing()), DevicesPerAccess: 36, BurstBeats: 4,
+		}, s.meter[i])
+	case ARCC:
+		s.meter[i] = power.NewMeter(power.Micron512MbX8())
+		s.mem[i] = memctrl.New(memctrl.Config{
+			Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
+			Timing: withRefresh(memctrl.DDR2X8Timing()), DevicesPerAccess: 18, BurstBeats: 4,
+			Pairing: cfg.Pairing,
+		}, s.meter[i])
+	}
+	s.pairing[i] = cfg.Pairing
+	return s.mem[i], s.meter[i]
+}
+
+// resetLLCs returns the four per-core LLCs for cfg, reusing (and resetting)
+// the previous run's backing arrays when the cache geometry is unchanged
+// and rebuilding all four together when it is not.
+func (s *Scratch) resetLLCs(cfg Config) *[4]*cache.LLC {
+	if s.llcs[0] != nil && s.llcBytes == cfg.LLCBytes && s.llcAssoc == cfg.LLCAssoc && s.llcPolicy == cfg.LLCPolicy {
+		for _, llc := range s.llcs {
+			llc.Reset()
+		}
+		return &s.llcs
+	}
+	for i := range s.llcs {
+		s.llcs[i] = cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy)
+	}
+	s.llcBytes, s.llcAssoc, s.llcPolicy = cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy
+	return &s.llcs
+}
+
+// mapLine computes the (channel, globalBank) of a 64 B line.
+func mapLine(line, ranksBanks uint64) (ch, bank int) {
+	ch = int(line & 1)
+	bank = int((line >> 1) % ranksBanks)
+	return ch, bank
+}
+
+// upgradedPage is the page-mode oracle: a page is upgraded if a seeded hash
+// of its number falls under the target threshold. Deterministic, O(1), and
+// spreads upgraded pages uniformly — which matches the Fig 7.2 scenarios
+// where a fault's pages are interleaved through every workload's footprint.
+func upgradedPage(page uint64, seed int64, threshold uint64) bool {
+	h := (page ^ uint64(seed)<<40) * 0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	return h&0xFFFFFFFF < threshold
+}
+
+// missIssuer books the memory traffic for one demand read miss and reports
+// its completion time in CPU cycles. It implements cpu.Issuer on a struct
+// that lives in the Scratch and is re-pointed at each miss, replacing the
+// per-miss closure the read path used to allocate.
+type missIssuer struct {
+	mem        *memctrl.Controller
+	cpr        int64
+	ranksBanks uint64
+	line       uint64
+	isUp       bool
+}
+
+// IssueAt implements cpu.Issuer.
+func (m *missIssuer) IssueAt(nowCPU int64) int64 {
+	nowDRAM := nowCPU / m.cpr
+	ch, bank := mapLine(m.line, m.ranksBanks)
+	var doneDRAM int64
+	if m.isUp {
+		doneDRAM = m.mem.AccessPaired(nowDRAM, bank, false)
+	} else {
+		doneDRAM = m.mem.Access(nowDRAM, ch, bank, false)
+	}
+	return doneDRAM * m.cpr
+}
+
+// writeback books eviction traffic (non-blocking for the core). handled is
+// the caller's scratch for addresses already written this batch — an
+// upgraded pair evicted as two entries must write back once — and is
+// returned re-sliced; eviction batches are at most a few entries, so a
+// linear scan replaces the map the old path allocated per miss.
+func writeback(mem *memctrl.Controller, cpr int64, ranksBanks uint64, nowCPU int64, evs []cache.Eviction, handled []uint64) []uint64 {
+	nowDRAM := nowCPU / cpr
+	handled = handled[:0]
+	for _, e := range evs {
+		if !e.Dirty || slices.Contains(handled, e.Addr) {
+			continue
+		}
+		if e.Upgraded {
+			_, bank := mapLine(e.Addr, ranksBanks)
+			mem.AccessPaired(nowDRAM, bank, true)
+			handled = append(handled, e.Addr, e.PairedWith)
+		} else {
+			ch, bank := mapLine(e.Addr, ranksBanks)
+			mem.Access(nowDRAM, ch, bank, true)
+			handled = append(handled, e.Addr)
+		}
+	}
+	return handled
+}
+
+// scratchPool backs the plain Run entry point, so callers that do not
+// manage a Scratch themselves (tests, the experiment fan-outs) still reuse
+// run state across consecutive runs on the same worker.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// Run executes one simulation. It is RunWith with a pooled Scratch.
 func Run(cfg Config) Result {
+	s := scratchPool.Get().(*Scratch)
+	res := RunWith(cfg, s)
+	scratchPool.Put(s)
+	return res
+}
+
+// RunWith executes one simulation using s's reusable working state (nil
+// behaves like a fresh scratch). The result is identical to Run's for the
+// same config; reuse only removes the per-run setup allocations and the
+// steady-state loop's per-miss allocations.
+func RunWith(cfg Config, s *Scratch) Result {
+	if s == nil {
+		s = NewScratch()
+	}
 	if cfg.InstructionsPerCore <= 0 || cfg.LLCBytes <= 0 || cfg.LLCAssoc <= 0 || cfg.CPUCyclesPerDRAMCycle <= 0 {
 		panic(fmt.Sprintf("sim: invalid config %+v", cfg))
 	}
@@ -123,41 +293,10 @@ func Run(cfg Config) Result {
 		panic(fmt.Sprintf("sim: upgraded fraction %v out of range", cfg.UpgradedFraction))
 	}
 
-	var meter *power.Meter
-	var mem *memctrl.Controller
-	switch cfg.System {
-	case Baseline:
-		meter = power.NewMeter(power.Micron512MbX4())
-		mem = memctrl.New(memctrl.Config{
-			Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
-			Timing: withRefresh(memctrl.DDR2X4Timing()), DevicesPerAccess: 36, BurstBeats: 4,
-		}, meter)
-	case ARCC:
-		meter = power.NewMeter(power.Micron512MbX8())
-		mem = memctrl.New(memctrl.Config{
-			Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
-			Timing: withRefresh(memctrl.DDR2X8Timing()), DevicesPerAccess: 18, BurstBeats: 4,
-			Pairing: cfg.Pairing,
-		}, meter)
-	default:
-		panic(fmt.Sprintf("sim: unknown system %d", cfg.System))
-	}
+	mem, meter := s.memorySystem(cfg)
 
-	// Page-mode oracle: a page is upgraded if a seeded hash of its number
-	// falls under the target fraction. Deterministic, O(1), and spreads
-	// upgraded pages uniformly — which matches the Fig 7.2 scenarios where
-	// a fault's pages are interleaved through every workload's footprint.
 	threshold := uint64(cfg.UpgradedFraction * float64(1<<32))
-	upgraded := func(page uint64) bool {
-		if cfg.System != ARCC || threshold == 0 {
-			return false
-		}
-		h := (page ^ uint64(cfg.Seed)<<40) * 0x9E3779B97F4A7C15
-		h ^= h >> 33
-		h *= 0xC2B2AE3D27D4EB4F
-		h ^= h >> 29
-		return h&0xFFFFFFFF < threshold
-	}
+	oracleOn := cfg.System == ARCC && threshold != 0
 
 	type coreState struct {
 		core   *cpu.Core
@@ -165,126 +304,94 @@ func Run(cfg Config) Result {
 		stream workload.Source
 		done   bool
 	}
-	states := make([]*coreState, 4)
+	var states [4]coreState
+	llcs := s.resetLLCs(cfg)
 	base := uint64(0)
 	for i := range states {
 		b := cfg.Mix.Benchmarks[i]
-		var src workload.Source = b.NewStream(cfg.Seed+int64(i)*7919, base)
+		var src workload.Source
 		if cfg.Sources[i] != nil {
 			src = cfg.Sources[i]
+		} else if s.streams[i] != nil {
+			s.streams[i].Reset(b, cfg.Seed+int64(i)*7919, base)
+			src = s.streams[i]
+		} else {
+			s.streams[i] = b.NewStream(cfg.Seed+int64(i)*7919, base)
+			src = s.streams[i]
 		}
-		states[i] = &coreState{
-			core:   cpu.New(cpu.DefaultConfig()),
-			llc:    cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy),
-			stream: src,
+		if s.cores[i] == nil {
+			s.cores[i] = cpu.New(cpu.DefaultConfig())
+		} else {
+			s.cores[i].Reset()
 		}
+		states[i] = coreState{core: s.cores[i], llc: llcs[i], stream: src}
 		base += uint64(b.FootprintLines)
 		// Page-align region starts so pairs never straddle benchmarks.
 		base = (base + 63) &^ 63
 	}
 
-	ranksBanks := mem.Config().RanksPerChannel * mem.Config().BanksPerRank
+	ranksBanks := uint64(mem.Config().RanksPerChannel * mem.Config().BanksPerRank)
 	cpr := cfg.CPUCyclesPerDRAMCycle
-
-	// mapLine computes the (channel, globalBank) of a 64 B line.
-	mapLine := func(line uint64) (ch, bank int) {
-		ch = int(line & 1)
-		bank = int((line >> 1) % uint64(ranksBanks))
-		return ch, bank
-	}
+	s.fetch = missIssuer{mem: mem, cpr: cpr, ranksBanks: ranksBanks}
 
 	var demandFetches, upgradedFetches int64
-
-	// fetch books the memory traffic for a demand miss and returns its
-	// completion time in CPU cycles.
-	fetch := func(nowCPU int64, line uint64, isUpgraded bool) int64 {
-		nowDRAM := nowCPU / cpr
-		ch, bank := mapLine(line)
-		var doneDRAM int64
-		if isUpgraded {
-			doneDRAM = mem.AccessPaired(nowDRAM, bank, false)
-		} else {
-			doneDRAM = mem.Access(nowDRAM, ch, bank, false)
-		}
-		return doneDRAM * cpr
-	}
-
-	// writeback books eviction traffic (non-blocking for the core).
-	writeback := func(nowCPU int64, evs []cache.Eviction) {
-		nowDRAM := nowCPU / cpr
-		handled := map[uint64]bool{}
-		for _, e := range evs {
-			if !e.Dirty || handled[e.Addr] {
-				continue
-			}
-			if e.Upgraded {
-				_, bank := mapLine(e.Addr)
-				mem.AccessPaired(nowDRAM, bank, true)
-				handled[e.Addr] = true
-				handled[e.PairedWith] = true
-			} else {
-				ch, bank := mapLine(e.Addr)
-				mem.Access(nowDRAM, ch, bank, true)
-				handled[e.Addr] = true
-			}
-		}
-	}
 
 	// Event loop: always advance the core that is furthest behind, so the
 	// shared memory controller sees requests in (approximate) time order.
 	for {
-		var next *coreState
-		for _, s := range states {
-			if s.done {
+		next := -1
+		for i := range states {
+			if states[i].done {
 				continue
 			}
-			if next == nil || s.core.Now() < next.core.Now() {
-				next = s
+			if next < 0 || states[i].core.Now() < states[next].core.Now() {
+				next = i
 			}
 		}
-		if next == nil {
+		if next < 0 {
 			break
 		}
-		s := next
-		a := s.stream.Next()
-		s.core.AdvanceCompute(a.Gap)
-		if s.core.Instructions() >= cfg.InstructionsPerCore {
-			s.core.Drain()
-			s.done = true
+		st := &states[next]
+		a := st.stream.Next()
+		st.core.AdvanceCompute(a.Gap)
+		if st.core.Instructions() >= cfg.InstructionsPerCore {
+			st.core.Drain()
+			st.done = true
 			continue
 		}
-		if s.llc.Access(a.Line, a.Write) {
-			s.core.NoteHit()
+		if st.llc.Access(a.Line, a.Write) {
+			st.core.NoteHit()
 			continue
 		}
-		isUp := upgraded(pageOf(a.Line))
-		evs := s.llc.Insert(a.Line, isUp, a.Write)
-		writeback(s.core.Now(), evs)
+		isUp := oracleOn && upgradedPage(pageOf(a.Line), cfg.Seed, threshold)
+		s.evs = st.llc.InsertInto(a.Line, isUp, a.Write, s.evs[:0])
+		s.handled = writeback(mem, cpr, ranksBanks, st.core.Now(), s.evs, s.handled)
 		demandFetches++
 		if isUp {
 			upgradedFetches++
 		}
-		line := a.Line
+		s.fetch.line, s.fetch.isUp = a.Line, isUp
 		if a.Write {
 			// Write-allocate: the fill occupies memory but the store
 			// itself retires through the store buffer without stalling.
-			fetch(s.core.Now(), line, isUp)
+			s.fetch.IssueAt(st.core.Now())
 			continue
 		}
-		s.core.IssueMiss(func(now int64) int64 { return fetch(now, line, isUp) })
+		st.core.IssueMissTo(&s.fetch)
 	}
 
 	// Aggregate.
 	var res Result
 	var slowest int64
 	var hits, misses int64
-	for i, s := range states {
-		res.PerCoreIPC[i] = float64(cfg.InstructionsPerCore) / float64(s.core.Now())
+	for i := range states {
+		st := &states[i]
+		res.PerCoreIPC[i] = float64(cfg.InstructionsPerCore) / float64(st.core.Now())
 		res.IPCSum += res.PerCoreIPC[i]
-		if s.core.Now() > slowest {
-			slowest = s.core.Now()
+		if st.core.Now() > slowest {
+			slowest = st.core.Now()
 		}
-		h, m, _, _ := s.llc.Stats()
+		h, m, _, _ := st.llc.Stats()
 		hits += h
 		misses += m
 	}

@@ -80,6 +80,19 @@ func (b Benchmark) NewStream(seed int64, base uint64) *Stream {
 	}
 }
 
+// Reset re-initialises s exactly as b.NewStream(seed, base) would, reusing
+// the stream's RNG state so no heap allocations occur. The access sequence a
+// reset stream produces is identical to a freshly-constructed stream's, so
+// the two are interchangeable (sim.Scratch reuses streams across runs).
+func (s *Stream) Reset(b Benchmark, seed int64, base uint64) {
+	b.validate()
+	s.b = b
+	s.rng.Seed(seed)
+	s.base = base
+	s.cur = 0
+	s.gapM = 1000 / b.APKI
+}
+
 // Name returns the benchmark name.
 func (s *Stream) Name() string { return s.b.Name }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's hot-path benchmark suite with -benchmem
+# and emit the results in machine-readable form.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Writes one JSON array (default BENCH_PR3.json) with an object per
+# benchmark — {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} —
+# plus the raw `go test -bench` text alongside it (same path, .txt). CI
+# uploads both so every PR leaves a comparable perf trajectory; compare two
+# checkouts by diffing the JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+raw="${out%.json}.txt"
+: >"$raw"
+
+run() { go test -run=xxx -benchmem -count=1 "$@" | tee -a "$raw"; }
+
+# GF/RS codec kernels and scratch decoding (PR 2's hot path).
+run -bench='MulAddSlice|EncodeInto|Syndromes|ChienSearch|DecodeScratch|Decode2Err|DecodeErasuresScratch' \
+    ./internal/gf/ ./internal/rs/
+# Fault-arrival sampling.
+run -bench='SampleArrivals' ./internal/faultmodel/
+# Scheme-level scratch decode paths (the functional data path's per-access
+# work) and the full-system simulator steady state (PR 3's hot path).
+run -bench='DecodeInto|DecodeLegacy' ./internal/ecc/
+run -bench='SimRunSteadyState' ./internal/sim/
+# End-to-end exhibit regenerators (quick profile). A handful of iterations
+# rather than one, so the recorded ns/op is comparable across PRs instead
+# of a single noisy wall-time sample.
+run -bench='Fig71|Fig72|Fig73|Fig74' -benchtime=3x .
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+           name, iters, ns, bytes, allocs)
+}
+END { print "\n]" }
+' "$raw" >"$out"
+
+echo "wrote $out and $raw"
