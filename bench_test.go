@@ -1,97 +1,64 @@
 package arcc_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
-	"arcc/internal/experiments"
+	"arcc/internal/exhibit"
+	_ "arcc/internal/experiments" // registers the paper's exhibits
 )
 
 // The benchmarks below regenerate the paper's tables and figures — one
-// benchmark per exhibit, as the repository's reproduction entry points.
-// They run the Quick profile so `go test -bench=.` finishes in minutes; the
-// cmd/arcc-experiments binary runs the full-scale versions. Each benchmark
-// also renders the exhibit (to io.Discard) so the formatting code is
-// exercised.
+// benchmark per exhibit, as the repository's reproduction entry points,
+// all driven through the exhibit registry exactly like the
+// cmd/arcc-experiments binary. They run the Quick profile so `go test
+// -bench=.` finishes in minutes; the binary runs the full-scale versions.
+// Each benchmark also renders the exhibit (to io.Discard) so the
+// formatting code is exercised.
 
-var quick = experiments.Options{Quick: true}
-
-func BenchmarkTable71(b *testing.B) {
+// benchExhibit runs one registered exhibit per iteration and renders its
+// report with the text renderer.
+func benchExhibit(b *testing.B, name string) {
+	b.Helper()
+	e, ok := exhibit.Lookup(name)
+	if !ok {
+		b.Fatalf("exhibit %q not registered", name)
+	}
+	cfg := exhibit.NewConfig(exhibit.WithQuick(true))
+	ctx := context.Background()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.FprintTable71(io.Discard)
+		r, err := e.Run(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := (exhibit.TextRenderer{}).Render(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
-func BenchmarkTable72(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		experiments.FprintTable72(io.Discard)
-	}
-}
+func BenchmarkTable71(b *testing.B) { benchExhibit(b, "t7.1") }
 
-func BenchmarkTable73(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		experiments.FprintTable73(io.Discard)
-	}
-}
+func BenchmarkTable72(b *testing.B) { benchExhibit(b, "t7.2") }
 
-func BenchmarkTable74(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		experiments.FprintTable74(io.Discard)
-	}
-}
+func BenchmarkTable73(b *testing.B) { benchExhibit(b, "t7.3") }
 
-func BenchmarkFig31FaultyMemoryVsTime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig31(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkTable74(b *testing.B) { benchExhibit(b, "t7.4") }
 
-func BenchmarkFig61ReliabilityComparison(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig61(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig31FaultyMemoryVsTime(b *testing.B) { benchExhibit(b, "f3.1") }
 
-func BenchmarkFig71PowerAndPerformance(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig71(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig61ReliabilityComparison(b *testing.B) { benchExhibit(b, "f6.1") }
 
-func BenchmarkFig72PowerWithFault(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig72(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig71PowerAndPerformance(b *testing.B) { benchExhibit(b, "f7.1") }
 
-func BenchmarkFig73PerformanceWithFault(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig73(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig72PowerWithFault(b *testing.B) { benchExhibit(b, "f7.2") }
 
-func BenchmarkFig74PowerOverheadLifetime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig74(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig73PerformanceWithFault(b *testing.B) { benchExhibit(b, "f7.3") }
 
-func BenchmarkFig75PerfOverheadLifetime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig75(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig74PowerOverheadLifetime(b *testing.B) { benchExhibit(b, "f7.4") }
 
-func BenchmarkFig76ARCCOnLOTECC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := experiments.Fig76(quick)
-		r.Fprint(io.Discard)
-	}
-}
+func BenchmarkFig75PerfOverheadLifetime(b *testing.B) { benchExhibit(b, "f7.5") }
+
+func BenchmarkFig76ARCCOnLOTECC(b *testing.B) { benchExhibit(b, "f7.6") }

@@ -1,91 +1,190 @@
 // Command arcc-experiments regenerates the tables and figures of the ARCC
-// paper's evaluation.
+// paper's evaluation through the unified exhibit API, and runs
+// user-defined declarative scenarios.
 //
 // Usage:
 //
-//	arcc-experiments [-exhibit all|t7.1|t7.2|t7.3|t7.4|f3.1|f6.1|f7.1|f7.2|f7.3|f7.4|f7.5|f7.6]
-//	                 [-quick] [-seed N] [-parallel N] [-trials N] [-progress]
+//	arcc-experiments [-list] [-exhibit all|name[,name...]] [-format text|json|csv]
+//	                 [-scenario file.json] [-quick] [-seed N] [-parallel N]
+//	                 [-trials N] [-progress] [-timeout dur]
 //
 // Without flags it reproduces everything at paper scale (10 000 Monte Carlo
 // channels, 1 M instructions per core), which takes a few minutes; -quick
-// cuts the volume for a fast look. The Monte Carlo sweeps and per-mix
-// simulator runs fan out across the sharded engine (internal/mc):
-// -parallel sets the worker count (0 = all CPUs, 1 = serial) without
-// changing any number — output is bit-identical at any parallelism for a
-// given seed. -trials overrides the Monte Carlo channel count, and
-// -progress reports completion counts on stderr as each exhibit computes.
+// cuts the volume for a fast look. -list names every registered exhibit;
+// -exhibit takes one or more names (comma-separated; "ablations" expands
+// to the three ablation exhibits), and an unknown name is a usage error
+// that lists what is registered. -format selects the renderer: text (the
+// paper's layout, byte-identical to the golden files), json (structured
+// reports with typed rows; several exhibits form a JSON array), or csv.
+// -scenario runs a declarative sweep loaded from a JSON file (see the
+// exhibit.Scenario schema) instead of the registered exhibits.
+//
+// The Monte Carlo sweeps and per-mix simulator runs fan out across the
+// sharded engine (internal/mc): -parallel sets the worker count (0 = all
+// CPUs, 1 = serial) without changing any number — output is bit-identical
+// at any parallelism for a given seed. -trials overrides the Monte Carlo
+// channel count, and -progress reports completion counts on stderr as
+// each exhibit computes. Interrupting the run (Ctrl-C, SIGTERM) or hitting
+// -timeout cancels the context; the engine stops within one shard.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"arcc/internal/exhibit"
 	"arcc/internal/experiments"
 	"arcc/internal/mc"
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "all", "which exhibit to regenerate (all, t7.1..t7.4, f3.1, f6.1, f7.1..f7.6, due, ablations)")
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "arcc-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list registered exhibits and exit")
+	name := flag.String("exhibit", "all", "which exhibit(s) to regenerate: all, or comma-separated names (see -list)")
+	format := flag.String("format", "text", "output format: text, json, or csv")
+	scenario := flag.String("scenario", "", "run a declarative scenario from this JSON file instead of registered exhibits")
 	quick := flag.Bool("quick", false, "reduced simulation volume")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "Monte Carlo / simulation workers (0 = all CPUs, 1 = serial)")
 	trials := flag.Int("trials", 0, "override the Monte Carlo channel count (0 = profile default)")
 	progress := flag.Bool("progress", false, "report per-exhibit progress on stderr")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	flag.Parse()
 
-	w := os.Stdout
-	// opts builds per-exhibit options so each exhibit gets its own
-	// progress line state.
-	opts := func(key string) experiments.Options {
-		o := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
+	if *list {
+		for _, e := range exhibit.All() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Describe)
+		}
+		return nil
+	}
+
+	renderer, err := exhibit.RendererFor(*format)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// cfg builds per-exhibit options so each exhibit gets its own progress
+	// line state: one exhibit runs several engine jobs back to back (per
+	// rate factor, per sweep) and the printer resets itself at each job.
+	cfg := func(key string) exhibit.Config {
+		opts := []exhibit.Option{
+			exhibit.WithQuick(*quick),
+			exhibit.WithSeed(*seed),
+			exhibit.WithParallel(*parallel),
+			exhibit.WithTrials(*trials),
+		}
 		if *progress {
-			// One exhibit runs several engine jobs back to back (per rate
-			// factor, per sweep); the printer resets itself at each job.
-			o.Progress = mc.NewProgressPrinter(os.Stderr, key)
+			opts = append(opts, exhibit.WithProgress(
+				exhibit.ProgressFunc(mc.NewProgressPrinter(os.Stderr, key))))
 		}
-		return o
+		return exhibit.NewConfig(opts...)
 	}
 
-	type runner struct {
-		key string
-		run func()
-	}
-	all := []runner{
-		{"t7.1", func() { experiments.FprintTable71(w) }},
-		{"t7.2", func() { experiments.FprintTable72(w) }},
-		{"t7.3", func() { experiments.FprintTable73(w) }},
-		{"t7.4", func() { experiments.FprintTable74(w) }},
-		{"f3.1", func() { experiments.Fig31(opts("f3.1")).Fprint(w) }},
-		{"f6.1", func() { experiments.Fig61(opts("f6.1")).Fprint(w) }},
-		{"f7.1", func() { experiments.Fig71(opts("f7.1")).Fprint(w) }},
-		{"f7.2", func() { experiments.Fig72(opts("f7.2")).Fprint(w) }},
-		{"f7.3", func() { experiments.Fig73(opts("f7.3")).Fprint(w) }},
-		{"f7.4", func() { experiments.Fig74(opts("f7.4")).Fprint(w) }},
-		{"f7.5", func() { experiments.Fig75(opts("f7.5")).Fprint(w) }},
-		{"f7.6", func() { experiments.Fig76(opts("f7.6")).Fprint(w) }},
-		{"due", func() { experiments.DUEAnalysis().Fprint(w) }},
-		{"ablations", func() {
-			experiments.FprintAblationScrub(w)
-			fmt.Fprintln(w)
-			experiments.AblationLLCPolicy(opts("ablation-llc")).Fprint(w)
-			fmt.Fprintln(w)
-			experiments.AblationPairing(opts("ablation-pairing")).Fprint(w)
-		}},
-	}
-
-	want := strings.ToLower(*exhibit)
-	ran := false
-	for _, r := range all {
-		if want == "all" || want == r.key {
-			r.run()
-			fmt.Fprintln(w)
-			ran = true
+	var exhibits []exhibit.Exhibit
+	if *scenario != "" {
+		sc, err := exhibit.LoadScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		ex, err := experiments.NewScenarioExhibit(sc)
+		if err != nil {
+			return err
+		}
+		exhibits = []exhibit.Exhibit{ex}
+	} else {
+		exhibits, err = selectExhibits(*name)
+		if err != nil {
+			return err
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *exhibit)
-		os.Exit(2)
+
+	// Reports stream as each exhibit completes — a multi-minute `-exhibit
+	// all` run shows results incrementally, and an error (or Ctrl-C)
+	// mid-run keeps everything already computed. Text keeps the
+	// historical layout (one blank line after every exhibit), csv
+	// separates reports with a blank line, and several json reports form
+	// an array that is closed even on an early exit so the partial
+	// output stays parseable.
+	out := os.Stdout
+	jsonArray := *format == "json" && len(exhibits) != 1
+	if jsonArray {
+		fmt.Fprintln(out, "[")
 	}
+	closeArray := func() {
+		if jsonArray {
+			fmt.Fprintln(out, "]")
+		}
+	}
+	for i, e := range exhibits {
+		r, err := e.Run(ctx, cfg(e.Name))
+		if err != nil {
+			closeArray()
+			return fmt.Errorf("exhibit %s: %w", e.Name, err)
+		}
+		if i > 0 {
+			switch *format {
+			case "json":
+				fmt.Fprintln(out, ",")
+			case "csv":
+				fmt.Fprintln(out)
+			}
+		}
+		if err := renderer.Render(out, r); err != nil {
+			closeArray()
+			return err
+		}
+		if *format == "text" {
+			fmt.Fprintln(out)
+		}
+	}
+	closeArray()
+	return nil
+}
+
+// selectExhibits resolves the -exhibit flag: "all", a single name, or a
+// comma-separated list, with "ablations" kept as an alias for the three
+// ablation exhibits. An unknown name is a usage error listing the
+// registry, so typos cannot fall through silently.
+func selectExhibits(arg string) ([]exhibit.Exhibit, error) {
+	want := strings.ToLower(strings.TrimSpace(arg))
+	if want == "all" {
+		return exhibit.All(), nil
+	}
+	var out []exhibit.Exhibit
+	for _, name := range strings.Split(want, ",") {
+		name = strings.TrimSpace(name)
+		if name == "ablations" {
+			for _, alias := range []string{"ablation-scrub", "ablation-llc", "ablation-pairing"} {
+				e, _ := exhibit.Lookup(alias)
+				out = append(out, e)
+			}
+			continue
+		}
+		e, ok := exhibit.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown exhibit %q; registered exhibits:\n  %s",
+				name, strings.Join(exhibit.Names(), "\n  "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }

@@ -1,31 +1,46 @@
 // Command arcc-faultsim runs the reliability Monte Carlo directly: the
 // faulty-page fraction over a memory channel's lifetime (Fig 3.1), the
-// lifetime power-overhead series (Fig 7.4 style), and the closed-form SDC
-// models (Fig 6.1), with configurable fault rates and scrub interval.
+// worst-case lifetime overhead series (Fig 7.4 style), and the
+// closed-form SDC/DUE models (Fig 6.1), with configurable fault rates,
+// channel geometry, upgrade-cost scheme, and scrub interval.
 //
 // Usage:
 //
 //	arcc-faultsim [-years 7] [-trials 10000] [-factor 1] [-scrub 4]
-//	              [-ranks 2] [-devices 36] [-seed 1] [-parallel 0]
-//	              [-progress]
+//	              [-ranks 2] [-devices 36] [-scheme chipkill|lotecc]
+//	              [-seed 1] [-parallel 0] [-progress] [-format text|json|csv]
 //
-// The Monte Carlo runs on the sharded engine (internal/mc): -parallel sets
-// the worker count (0 = all CPUs, 1 = serial) and does not change the
-// numbers — output is bit-identical at any parallelism for a given seed.
-// -progress reports trial completion on stderr.
+// The command is a thin front end over the declarative scenario layer: the
+// flags assemble an exhibit.Scenario (the same structure -scenario JSON
+// files feed to arcc-experiments) and run it through the unified exhibit
+// API, so the output is available in every report format. The Monte Carlo
+// runs on the sharded engine (internal/mc): -parallel sets the worker
+// count (0 = all CPUs, 1 = serial) and does not change the numbers —
+// output is bit-identical at any parallelism for a given seed. -progress
+// reports trial completion on stderr, and Ctrl-C cancels within one shard.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"arcc/internal/faultmodel"
+	"arcc/internal/exhibit"
+	"arcc/internal/experiments"
 	"arcc/internal/mc"
-	"arcc/internal/reliability"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "arcc-faultsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	years := flag.Int("years", 7, "operational lifespan in years")
 	trials := flag.Int("trials", 10000, "Monte Carlo trials (simulated channels)")
 	channels := flag.Int("channels", 0, "deprecated alias for -trials")
@@ -33,62 +48,54 @@ func main() {
 	scrub := flag.Float64("scrub", 4, "scrub interval in hours")
 	ranks := flag.Int("ranks", 2, "ranks per channel")
 	devices := flag.Int("devices", 36, "devices per rank")
+	scheme := flag.String("scheme", "chipkill", "upgraded-access cost model: chipkill (2x) or lotecc (4x)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "Monte Carlo workers (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "report Monte Carlo progress on stderr")
+	format := flag.String("format", "text", "output format: text, json, or csv")
 	flag.Parse()
 
 	n := *trials
 	if *channels > 0 {
 		n = *channels
 	}
-	if n <= 0 || *years <= 0 {
-		fmt.Fprintf(os.Stderr, "arcc-faultsim: -trials and -years must be positive (got %d, %d)\n", n, *years)
-		os.Exit(2)
-	}
-	// A fresh printer per Monte Carlo job keeps the 10% ticks independent.
-	opts := func() mc.Options {
-		o := mc.Options{Parallelism: *parallel}
-		if *progress {
-			o.Progress = mc.NewProgressPrinter(os.Stderr, "  mc")
-		}
-		return o
-	}
 
-	rates := faultmodel.FieldStudyRates().Scale(*factor)
-	shape := faultmodel.ARCCChannelShape()
-
-	fmt.Printf("Fault rates (%gx field study), %d x %d-device ranks, %d trials, %d years, %d workers\n\n",
-		*factor, *ranks, *devices, n, *years, workerCount(*parallel))
-
-	fmt.Println("Faulty-page fraction by year (Fig 3.1 methodology):")
-	frac := reliability.FaultyPageFraction(*seed, opts(), rates, shape, *ranks, *devices, *years, n)
-	for y, f := range frac {
-		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
+	s := exhibit.DefaultScenario()
+	s.Name = "faultsim"
+	s.Description = fmt.Sprintf("%gx field-study rates over %d x %d-device ranks", *factor, *ranks, *devices)
+	s.RateFactor = *factor
+	s.Ranks = *ranks
+	s.DevicesPerRank = *devices
+	s.Years = *years
+	s.Trials = n
+	s.ScrubHours = *scrub
+	s.Scheme = *scheme
+	if err := s.Validate(); err != nil {
+		return err
 	}
 
-	fmt.Println("\nLifetime worst-case power overhead (Fig 7.4 methodology, factor 2 on upgraded pages):")
-	ov := reliability.WorstCaseOverheads(shape, 2)
-	overhead := reliability.LifetimeOverhead(mc.DeriveSeed(*seed, 1), opts(), rates, *ranks, *devices, *years, n, ov, 1)
-	for y, f := range overhead {
-		fmt.Printf("  year %d: %8.4f%%\n", y+1, f*100)
+	renderer, err := exhibit.RendererFor(*format)
+	if err != nil {
+		return err
 	}
 
-	p := reliability.Params{
-		Rates:           rates,
-		RanksPerChannel: *ranks,
-		DevicesPerRank:  *devices,
-		Geom:            reliability.RankGeom{Devices: *devices, Banks: 8, Rows: 16384, Cols: 64},
-		ScrubHours:      *scrub,
-		LifeYears:       float64(*years),
-	}
-	fmt.Println("\nSDC models (Fig 6.1 methodology):")
-	arcc := reliability.SDCsPer1000MachineYears(reliability.ARCCDEDExpectedSDCs(p), p.LifeYears)
-	sccdcd := reliability.SDCsPer1000MachineYears(reliability.SCCDCDExpectedSDCs(p), p.LifeYears)
-	fmt.Printf("  SCCDCD DED: %.3e SDCs per 1000 machine-years\n", sccdcd)
-	fmt.Printf("  ARCC DED:   %.3e SDCs per 1000 machine-years\n", arcc)
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-func workerCount(parallel int) int {
-	return mc.Options{Parallelism: parallel}.Workers()
+	opts := []exhibit.Option{exhibit.WithSeed(*seed), exhibit.WithParallel(*parallel)}
+	if *progress {
+		opts = append(opts, exhibit.WithProgress(
+			exhibit.ProgressFunc(mc.NewProgressPrinter(os.Stderr, "  mc"))))
+	}
+	cfg := exhibit.NewConfig(opts...)
+
+	ex, err := experiments.NewScenarioExhibit(s)
+	if err != nil {
+		return err
+	}
+	report, err := ex.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	return renderer.Render(os.Stdout, report)
 }

@@ -11,8 +11,17 @@
 // the enhanced scrubber; the sharded Monte Carlo engine (internal/mc) that
 // every lifetime sweep runs on; and the reliability and experiment
 // harnesses that regenerate every table and figure of the paper's
-// evaluation. See DESIGN.md for the system inventory and the engine's
-// determinism contract.
+// evaluation.
+//
+// Every experiment is an exhibit (internal/exhibit): a named entry point
+// registered by internal/experiments that runs under a context with a
+// functional-options Config and returns a structured Report renderable as
+// text (byte-identical to the golden files), JSON, or CSV. Declarative
+// scenarios — JSON files describing fault mixes, channel geometry, ECC
+// upgrade costs, and workload sweeps — compile into exhibits too, so
+// studies the paper never shipped run through the same machinery
+// (arcc-experiments -scenario). See DESIGN.md for the system inventory,
+// the engine's determinism contract, and the exhibit API.
 //
 // The benchmarks in bench_test.go regenerate one table or figure each:
 //

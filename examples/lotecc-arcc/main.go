@@ -5,14 +5,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"arcc/internal/faultmodel"
+	"arcc/internal/exhibit"
+	"arcc/internal/experiments"
 	"arcc/internal/lotecc"
-	"arcc/internal/mc"
-	"arcc/internal/reliability"
 )
 
 func main() {
@@ -59,14 +59,19 @@ func main() {
 	fmt.Printf("  extra write fraction: %.0f%% -> %.0f%%\n", cost9.ExtraWriteFraction*100, cost18.ExtraWriteFraction*100)
 	fmt.Printf("  worst-case upgraded access = %.0fx a relaxed access\n", lotecc.WorstCaseUpgradedPowerFactor())
 
-	// Fig 7.6: what the upgrades cost over a server's life, worst case.
-	shape := faultmodel.ARCCChannelShape()
-	ov := reliability.WorstCaseOverheads(shape, lotecc.WorstCaseUpgradedPowerFactor())
+	// Fig 7.6: what the upgrades cost over a server's life, worst case —
+	// run as a registered exhibit through the unified API, exactly as
+	// cmd/arcc-experiments would.
+	fig76, _ := exhibit.Lookup("f7.6")
+	report, err := fig76.Run(context.Background(),
+		exhibit.NewConfig(exhibit.WithSeed(7), exhibit.WithTrials(5000)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := report.Data.(experiments.LifetimeResult)
 	fmt.Printf("\nFig 7.6 worst-case overhead of ARCC+LOT-ECC vs 9-device LOT-ECC:\n")
-	for _, factor := range []float64{1, 4} {
-		rates := faultmodel.FieldStudyRates().Scale(factor)
-		series := reliability.LifetimeOverhead(7+int64(factor), mc.Options{}, rates, 2, 9, 7, 5000, ov, 3)
-		fmt.Printf("  %gx rates: year-7 average %.2f%%\n", factor, series[6]*100)
+	for fi, factor := range series.Factors {
+		fmt.Printf("  %gx rates: year-7 average %.2f%%\n", factor, series.WorstCase[fi][6]*100)
 	}
 	fmt.Println("  (the paper reports 1.6% at 1x and <= 6.3% at 4x — in exchange for a 17x DUE-rate reduction)")
 }

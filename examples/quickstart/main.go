@@ -6,11 +6,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"arcc/internal/core"
 	"arcc/internal/dram"
+	"arcc/internal/exhibit"
+	_ "arcc/internal/experiments" // registers the paper's exhibits
 	"arcc/internal/pagetable"
 	"arcc/internal/scrub"
 )
@@ -78,5 +82,17 @@ func main() {
 
 	if mem.PageMode(0) == pagetable.Relaxed {
 		fmt.Println("pages in the healthy rank stay relaxed and cheap")
+	}
+
+	// How much memory a fault like this upgrades at the paper's scale is
+	// Table 7.4 — a registered exhibit; render it through the unified API.
+	fmt.Println()
+	t74, _ := exhibit.Lookup("t7.4")
+	report, err := t74.Run(context.Background(), exhibit.NewConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := (exhibit.TextRenderer{}).Render(os.Stdout, report); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -6,10 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"arcc/internal/core"
 	"arcc/internal/dram"
+	"arcc/internal/exhibit"
+	_ "arcc/internal/experiments" // registers the ablation-scrub exhibit
 	"arcc/internal/scrub"
 )
 
@@ -49,4 +54,17 @@ func main() {
 	fmt.Printf("  four-step:    %.2f s per scrub, %.5f%% of bandwidth\n",
 		m.ScrubSeconds(scrub.FourStep), m.BandwidthOverhead(scrub.FourStep)*100)
 	fmt.Println("  (the paper's 2.4 s / 0.0167% numbers)")
+
+	// The full coverage comparison is a registered exhibit; render it
+	// through the unified API, exactly as `arcc-experiments -exhibit
+	// ablation-scrub` would.
+	fmt.Println()
+	ablation, _ := exhibit.Lookup("ablation-scrub")
+	report, err := ablation.Run(context.Background(), exhibit.NewConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := (exhibit.TextRenderer{}).Render(os.Stdout, report); err != nil {
+		log.Fatal(err)
+	}
 }

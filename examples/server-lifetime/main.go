@@ -1,20 +1,24 @@
 // Server lifetime: plays seven years of field-study fault arrivals against
 // the reliability models, showing how much of the memory ends up upgraded
 // and what it costs — the Fig 3.1 / Fig 7.4 story for a single server.
+// The fleet view runs as a declarative scenario through the unified
+// exhibit API: the same description a JSON file (or arcc-experiments
+// -scenario) would carry, built here in code.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
+	"arcc/internal/exhibit"
+	"arcc/internal/experiments"
 	"arcc/internal/faultmodel"
-	"arcc/internal/mc"
-	"arcc/internal/reliability"
 )
 
 func main() {
 	const years = 7
-	const channels = 5000
 	rng := rand.New(rand.NewSource(2026))
 	shape := faultmodel.ARCCChannelShape()
 	rates := faultmodel.FieldStudyRates()
@@ -36,21 +40,39 @@ func main() {
 			a.AtHours/faultmodel.HoursPerYear, a.Type, a.Rank, a.Device, span*100, upgradedFraction*100)
 	}
 
-	// The fleet view: average faulty-page fraction per year (Fig 3.1).
-	fmt.Printf("\nfleet average over %d channels (1x field-study rates):\n", channels)
-	frac := reliability.FaultyPageFraction(2026, mc.Options{}, rates, shape, 2, 36, years, channels)
-	frac4 := reliability.FaultyPageFraction(2027, mc.Options{}, rates.Scale(4), shape, 2, 36, years, channels)
+	// The fleet view, declaratively: a scenario describing the baseline
+	// 72-device channel, run through the exhibit API like any paper
+	// figure. A second scenario at 4x rates gives the sensitivity column.
+	fleet := func(factor float64) experiments.ScenarioResult {
+		s := exhibit.DefaultScenario()
+		s.Name = fmt.Sprintf("fleet-%gx", factor)
+		s.RateFactor = factor
+		s.DevicesPerRank = 36
+		s.Years = years
+		s.Trials = 5000
+		ex, err := experiments.NewScenarioExhibit(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := ex.Run(context.Background(), exhibit.NewConfig(exhibit.WithSeed(2026)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report.Data.(experiments.ScenarioResult)
+	}
+	at1, at4 := fleet(1), fleet(4)
+
+	fmt.Printf("\nfleet average over %d channels (1x field-study rates):\n", at1.Scenario.Trials)
 	fmt.Printf("  %-6s %-12s %-12s\n", "year", "1x rates", "4x rates")
 	for y := 0; y < years; y++ {
-		fmt.Printf("  %-6d %10.4f%% %10.4f%%\n", y+1, frac[y]*100, frac4[y]*100)
+		fmt.Printf("  %-6d %10.4f%% %10.4f%%\n", y+1, at1.FaultyFraction[y]*100, at4.FaultyFraction[y]*100)
 	}
 
-	// What it costs: worst-case lifetime power overhead (Fig 7.4).
-	ov := reliability.WorstCaseOverheads(shape, 2)
-	overhead := reliability.LifetimeOverhead(2028, mc.Options{}, rates, 2, 36, years, channels, ov, 1)
+	// What it costs: worst-case lifetime power overhead (Fig 7.4 style,
+	// chipkill upgrade factor 2), from the same scenario report.
 	fmt.Printf("\nworst-case average power overhead (vs fault-free ARCC):\n")
 	for y := 0; y < years; y++ {
-		fmt.Printf("  year %d: %.3f%%\n", y+1, overhead[y]*100)
+		fmt.Printf("  year %d: %.3f%%\n", y+1, at1.Overhead[y]*100)
 	}
 	fmt.Printf("\neven at year %d the overhead is tiny next to the ~37%% fault-free saving —\n", years)
 	fmt.Println("that asymmetry is the entire ARCC bet.")

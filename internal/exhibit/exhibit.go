@@ -1,0 +1,96 @@
+// Package exhibit defines the unified experiment surface of the ARCC
+// reproduction: every table, figure, and ablation the repository can
+// regenerate is an Exhibit — a named, self-describing entry point that
+// runs under a context with a shared Config and returns a structured
+// Report renderable as text (byte-identical to the golden files), JSON,
+// or CSV.
+//
+// Exhibits register themselves in a process-wide registry (Register,
+// typically from an init function of the package that implements them);
+// callers discover them with Lookup/All and run them with
+// Exhibit.Run(ctx, cfg). The cmd/arcc-experiments binary, the root
+// benchmark suite, the golden tests, and the examples all drive
+// experiments exclusively through this interface.
+//
+// The package also defines the declarative Scenario layer: a JSON-loadable
+// description of a sweep (fault mix, workload mix, ECC upgrade factor,
+// upgraded fraction, trial count) that internal/experiments turns into a
+// runnable Exhibit, so users can run studies the paper never shipped
+// without writing Go.
+package exhibit
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Exhibit is one runnable experiment: a table, figure, ablation, or
+// user-defined scenario.
+type Exhibit struct {
+	// Name is the canonical registry key ("t7.1", "f3.1", "ablation-llc").
+	Name string
+	// Title is the human heading, e.g. "Figure 3.1: Faulty Memory vs. Time".
+	Title string
+	// Describe is a one-line summary shown by listings.
+	Describe string
+	// Run computes the exhibit under ctx. It honours cancellation — a
+	// cancelled context returns an error wrapping mc.ErrCanceled within
+	// one Monte Carlo shard (or one simulator run) of the cancel — and
+	// reports progress through cfg.Progress when set.
+	Run func(ctx context.Context, cfg Config) (*Report, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Exhibit{}
+	order    []string
+)
+
+// Register adds e to the process-wide registry. It panics on an empty
+// name, a nil Run, or a duplicate registration — all programmer errors in
+// an init-time wiring.
+func Register(e Exhibit) {
+	if e.Name == "" || e.Run == nil {
+		panic(fmt.Sprintf("exhibit: invalid registration (name=%q, run nil=%v): need Name and Run", e.Name, e.Run == nil))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("exhibit: duplicate registration of %q", e.Name))
+	}
+	registry[e.Name] = e
+	order = append(order, e.Name)
+}
+
+// Lookup returns the exhibit registered under name.
+func Lookup(name string) (Exhibit, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered exhibit in registration order — the order
+// the paper presents them in, since internal/experiments registers them
+// that way.
+func All() []Exhibit {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Exhibit, 0, len(order))
+	for _, name := range order {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered exhibits, for usage
+// errors and listings.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}

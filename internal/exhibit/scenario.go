@@ -1,0 +1,223 @@
+package exhibit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/lotecc"
+)
+
+// Scenario is the declarative description of a user-defined sweep: the
+// fault mix a channel is exposed to, the ECC upgrade cost it pays per
+// fault, and (optionally) a workload sweep through the full-system
+// simulator. internal/experiments turns a Scenario into a runnable
+// Exhibit, so JSON files can drive studies the paper never shipped.
+//
+// JSON schema (all fields optional unless noted; zero values take the
+// documented defaults):
+//
+//	{
+//	  "name":             "string (required) — registry/report name",
+//	  "description":      "string — one-line summary",
+//
+//	  "rate_factor":      1.0,   // scale on the SC'12 field-study FIT rates
+//	  "fit_overrides":    {"lane": 3.0},  // absolute per-device FIT by fault
+//	                                      // type: bit, word, column, row,
+//	                                      // bank, device, lane
+//	  "ranks":            2,     // ranks per channel
+//	  "devices_per_rank": 18,    // DRAM devices per rank
+//	  "banks_per_device": 8,
+//	  "years":            7,     // operational lifespan
+//	  "trials":           10000, // Monte Carlo channels (Config.Trials wins)
+//	  "scrub_hours":      4.0,   // scrub interval for the SDC/DUE models
+//
+//	  "scheme":           "chipkill", // upgraded-access cost model:
+//	                                  // "chipkill" (2x) or "lotecc" (4x)
+//	  "upgrade_factor":   0,     // explicit cost factor; overrides scheme
+//
+//	  "mixes":            ["Mix1", "Mix7"], // Table 7.3 names; empty = no
+//	                                        // simulator sweep
+//	  "system":           "arcc",  // or "baseline"
+//	  "upgraded_fraction": 0.25,   // fraction of pages upgraded in sim runs
+//	  "instructions":     0        // per core; 0 = profile default
+//	}
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	RateFactor     float64            `json:"rate_factor,omitempty"`
+	FITOverrides   map[string]float64 `json:"fit_overrides,omitempty"`
+	Ranks          int                `json:"ranks,omitempty"`
+	DevicesPerRank int                `json:"devices_per_rank,omitempty"`
+	BanksPerDevice int                `json:"banks_per_device,omitempty"`
+	Years          int                `json:"years,omitempty"`
+	Trials         int                `json:"trials,omitempty"`
+	ScrubHours     float64            `json:"scrub_hours,omitempty"`
+
+	Scheme        string  `json:"scheme,omitempty"`
+	UpgradeFactor float64 `json:"upgrade_factor,omitempty"`
+
+	Mixes            []string `json:"mixes,omitempty"`
+	System           string   `json:"system,omitempty"`
+	UpgradedFraction float64  `json:"upgraded_fraction,omitempty"`
+	Instructions     int64    `json:"instructions,omitempty"`
+}
+
+// DefaultScenario returns the baseline the JSON overlays: the evaluated
+// ARCC channel (two 18-device ranks) under 1x field-study rates for seven
+// years, chipkill upgrade costs, four-hour scrubs, no simulator sweep.
+func DefaultScenario() Scenario {
+	return Scenario{
+		RateFactor:     1,
+		Ranks:          2,
+		DevicesPerRank: 18,
+		BanksPerDevice: 8,
+		Years:          7,
+		Trials:         10_000,
+		ScrubHours:     4,
+		Scheme:         "chipkill",
+		System:         "arcc",
+	}
+}
+
+// ParseScenario decodes a scenario from JSON (strictly: unknown fields are
+// errors, so typos fail loudly), overlays it on DefaultScenario, and
+// validates it.
+func ParseScenario(r io.Reader) (Scenario, error) {
+	s := DefaultScenario()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("exhibit: parsing scenario: %w", err)
+	}
+	// One JSON value describes one scenario; trailing content means a
+	// malformed file (e.g. a prematurely closed object) whose remaining
+	// fields would otherwise be dropped silently.
+	if _, err := dec.Token(); err != io.EOF {
+		return Scenario{}, fmt.Errorf("exhibit: parsing scenario: trailing content after the scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadScenario reads and parses a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("exhibit: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseScenario(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Validate checks every field the exhibit package can judge without the
+// workload tables; mix names are validated by the experiments layer when
+// the scenario is turned into an exhibit.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("exhibit: scenario needs a name")
+	case s.RateFactor < 0:
+		return fmt.Errorf("exhibit: scenario %q: negative rate_factor %v", s.Name, s.RateFactor)
+	case s.Ranks <= 0 || s.DevicesPerRank <= 1 || s.BanksPerDevice <= 0:
+		return fmt.Errorf("exhibit: scenario %q: invalid channel geometry (ranks=%d devices_per_rank=%d banks_per_device=%d)",
+			s.Name, s.Ranks, s.DevicesPerRank, s.BanksPerDevice)
+	case s.Years <= 0 || s.Trials <= 0:
+		return fmt.Errorf("exhibit: scenario %q: years and trials must be positive (got %d, %d)", s.Name, s.Years, s.Trials)
+	case s.ScrubHours <= 0:
+		return fmt.Errorf("exhibit: scenario %q: scrub_hours must be positive (got %v)", s.Name, s.ScrubHours)
+	case s.UpgradeFactor < 0 || (s.UpgradeFactor > 0 && s.UpgradeFactor < 1):
+		return fmt.Errorf("exhibit: scenario %q: upgrade_factor must be >= 1 (got %v)", s.Name, s.UpgradeFactor)
+	case s.UpgradedFraction < 0 || s.UpgradedFraction > 1:
+		return fmt.Errorf("exhibit: scenario %q: upgraded_fraction must be in [0,1] (got %v)", s.Name, s.UpgradedFraction)
+	case s.Instructions < 0:
+		return fmt.Errorf("exhibit: scenario %q: negative instructions", s.Name)
+	}
+	if s.UpgradeFactor == 0 {
+		if _, err := schemeFactor(s.Scheme); err != nil {
+			return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.System != "arcc" && s.System != "baseline" {
+		return fmt.Errorf("exhibit: scenario %q: unknown system %q (have arcc, baseline)", s.Name, s.System)
+	}
+	for name := range s.FITOverrides {
+		if _, err := typeByName(name); err != nil {
+			return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Rates resolves the scenario's fault mix: field-study FIT rates scaled by
+// RateFactor, with FITOverrides replacing individual types afterwards
+// (overrides are absolute, not scaled).
+func (s Scenario) Rates() faultmodel.Rates {
+	rates := faultmodel.FieldStudyRates().Scale(s.RateFactor)
+	for name, fit := range s.FITOverrides {
+		t, err := typeByName(name)
+		if err != nil {
+			panic(err) // Validate rejects unknown names first
+		}
+		rates[t] = fit
+	}
+	return rates
+}
+
+// Shape returns the channel shape the scenario's geometry implies, with
+// the evaluated configuration's two-pages-per-row layout and a total page
+// count scaled from the ARCC channel by rank count.
+func (s Scenario) Shape() faultmodel.ChannelShape {
+	base := faultmodel.ARCCChannelShape()
+	return faultmodel.ChannelShape{
+		RanksPerChannel: s.Ranks,
+		BanksPerDevice:  s.BanksPerDevice,
+		PagesPerRow:     base.PagesPerRow,
+		TotalPages:      base.TotalPages / base.RanksPerChannel * s.Ranks,
+	}
+}
+
+// CostFactor returns the upgraded-access cost factor: UpgradeFactor when
+// set, otherwise the scheme's (chipkill 2x, lotecc 4x).
+func (s Scenario) CostFactor() float64 {
+	if s.UpgradeFactor > 0 {
+		return s.UpgradeFactor
+	}
+	f, err := schemeFactor(s.Scheme)
+	if err != nil {
+		panic(err) // Validate rejects unknown schemes first
+	}
+	return f
+}
+
+func schemeFactor(scheme string) (float64, error) {
+	switch scheme {
+	case "chipkill":
+		// ARCC on commercial chipkill: an upgraded access touches both
+		// channels — double power, half bandwidth.
+		return 2, nil
+	case "lotecc":
+		// ARCC on LOT-ECC: 18 devices instead of 9 plus the extra
+		// checksum-line read.
+		return lotecc.WorstCaseUpgradedPowerFactor(), nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (have chipkill, lotecc)", scheme)
+}
+
+func typeByName(name string) (faultmodel.Type, error) {
+	for _, t := range faultmodel.Types() {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault type %q", name)
+}

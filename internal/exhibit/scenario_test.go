@@ -1,0 +1,74 @@
+package exhibit
+
+import (
+	"strings"
+	"testing"
+
+	"arcc/internal/faultmodel"
+)
+
+func TestParseScenario(t *testing.T) {
+	s, err := ParseScenario(strings.NewReader(`{
+		"name": "dense-channel",
+		"description": "3 ranks of 12 devices at 3x rates",
+		"rate_factor": 3,
+		"fit_overrides": {"lane": 6.0},
+		"ranks": 3,
+		"devices_per_rank": 12,
+		"years": 5,
+		"trials": 2000,
+		"scheme": "lotecc",
+		"mixes": ["Mix1", "Mix7"],
+		"upgraded_fraction": 0.25
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "dense-channel" || s.Ranks != 3 || s.Years != 5 {
+		t.Fatalf("fields not decoded: %+v", s)
+	}
+	// Defaults survive the overlay.
+	if s.BanksPerDevice != 8 || s.ScrubHours != 4 || s.System != "arcc" {
+		t.Fatalf("defaults lost: %+v", s)
+	}
+	if got := s.CostFactor(); got != 4 {
+		t.Fatalf("lotecc cost factor = %v, want 4", got)
+	}
+	rates := s.Rates()
+	if rates[faultmodel.Lane] != 6.0 {
+		t.Fatalf("fit override not applied: lane = %v", rates[faultmodel.Lane])
+	}
+	if want := faultmodel.FieldStudyRates()[faultmodel.Bit] * 3; rates[faultmodel.Bit] != want {
+		t.Fatalf("rate factor not applied: bit = %v, want %v", rates[faultmodel.Bit], want)
+	}
+	if shape := s.Shape(); shape.RanksPerChannel != 3 {
+		t.Fatalf("shape ranks = %d", shape.RanksPerChannel)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"name":"x", "rate_fctor": 2}`,
+		"missing name":    `{"rate_factor": 2}`,
+		"bad fault type":  `{"name":"x", "fit_overrides": {"pin": 1}}`,
+		"bad scheme":      `{"name":"x", "scheme": "hamming"}`,
+		"bad system":      `{"name":"x", "system": "vecc"}`,
+		"negative factor": `{"name":"x", "rate_factor": -1}`,
+		"fraction over 1": `{"name":"x", "upgraded_fraction": 1.5}`,
+		"zero years":      `{"name":"x", "years": -3}`,
+		"sub-1 upgrade":   `{"name":"x", "upgrade_factor": 0.5}`,
+		"not json":        `{"name":`,
+		"trailing junk":   `{"name":"x"} "trials": 500`,
+	}
+	for label, raw := range cases {
+		if _, err := ParseScenario(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted %s", label, raw)
+		}
+	}
+}
+
+func TestLoadScenarioMissingFile(t *testing.T) {
+	if _, err := LoadScenario("testdata/definitely-missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"io"
+	"math/rand"
 
 	"arcc/internal/cache"
 	"arcc/internal/core"
 	"arcc/internal/dram"
+	"arcc/internal/exhibit"
+	"arcc/internal/mc"
 	"arcc/internal/memctrl"
 	"arcc/internal/scrub"
 	"arcc/internal/sim"
@@ -91,32 +95,36 @@ type PolicyAblationResult struct {
 
 // AblationLLCPolicy quantifies the §4.2.3 design choice: shared-recency
 // paired replacement versus independent LRU, measured through the full
-// simulator with all pages upgraded.
-func AblationLLCPolicy(o Options) PolicyAblationResult {
+// simulator with all pages upgraded. The (policy, mix) runs fan out
+// across the engine's workers; each run is seeded from its config alone,
+// so the ratios are identical at any parallelism, and row 0 — the
+// shared-recency baseline divided by itself — is exactly 1.
+func AblationLLCPolicy(ctx context.Context, cfg exhibit.Config) (PolicyAblationResult, error) {
 	res := PolicyAblationResult{Policies: []string{"shared-recency", "independent-lru"}}
+	policies := []cache.Policy{cache.SharedRecency, cache.IndependentLRU}
 	mixes := []workload.Mix{workload.Mixes()[0], workload.Mixes()[9], workload.Mixes()[11]}
-	var baseline []float64
 	for _, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
-		cfg := sim.DefaultConfig(mix, sim.ARCC)
-		cfg.InstructionsPerCore = o.instructions()
-		cfg.UpgradedFraction = 1
-		cfg.LLCPolicy = cache.SharedRecency
-		baseline = append(baseline, sim.Run(cfg).IPCSum)
 	}
-	for pi, policy := range []cache.Policy{cache.SharedRecency, cache.IndependentLRU} {
+	ipcs, err := mc.MapScratchCtx(ctx, len(policies)*len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
+		func(_ *rand.Rand, i int, s *sim.Scratch) float64 {
+			c := sim.DefaultConfig(mixes[i%len(mixes)], sim.ARCC)
+			c.InstructionsPerCore = instructions(cfg)
+			c.UpgradedFraction = 1
+			c.LLCPolicy = policies[i/len(mixes)]
+			return sim.RunWith(c, s).IPCSum
+		})
+	if err != nil {
+		return PolicyAblationResult{}, err
+	}
+	for pi := range policies {
 		row := make([]float64, len(mixes))
-		for mi, mix := range mixes {
-			cfg := sim.DefaultConfig(mix, sim.ARCC)
-			cfg.InstructionsPerCore = o.instructions()
-			cfg.UpgradedFraction = 1
-			cfg.LLCPolicy = policy
-			row[mi] = sim.Run(cfg).IPCSum / baseline[mi]
+		for mi := range mixes {
+			row[mi] = ipcs[pi*len(mixes)+mi] / ipcs[mi] // vs the shared-recency run of the same mix
 		}
 		res.IPCRatio = append(res.IPCRatio, row)
-		_ = pi
 	}
-	return res
+	return res, nil
 }
 
 // Fprint renders the LLC policy ablation.
@@ -145,21 +153,30 @@ type PairingAblationResult struct {
 }
 
 // AblationPairing measures the cost of the simpler strict-FIFO pairing
-// design relative to pointer promotion, under full upgrade pressure.
-func AblationPairing(o Options) PairingAblationResult {
+// design relative to pointer promotion, under full upgrade pressure. The
+// four (mix, pairing) runs fan out across the engine's workers.
+func AblationPairing(ctx context.Context, cfg exhibit.Config) (PairingAblationResult, error) {
 	var res PairingAblationResult
-	for _, mix := range []workload.Mix{workload.Mixes()[0], workload.Mixes()[9]} {
+	pairings := []memctrl.Pairing{memctrl.PairFIFO, memctrl.PairPromote}
+	mixes := []workload.Mix{workload.Mixes()[0], workload.Mixes()[9]}
+	for _, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
-		run := func(p memctrl.Pairing) float64 {
-			cfg := sim.DefaultConfig(mix, sim.ARCC)
-			cfg.InstructionsPerCore = o.instructions()
-			cfg.UpgradedFraction = 1
-			cfg.Pairing = p
-			return sim.Run(cfg).IPCSum
-		}
-		res.FIFORatio = append(res.FIFORatio, run(memctrl.PairFIFO)/run(memctrl.PairPromote))
 	}
-	return res
+	ipcs, err := mc.MapScratchCtx(ctx, len(pairings)*len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
+		func(_ *rand.Rand, i int, s *sim.Scratch) float64 {
+			c := sim.DefaultConfig(mixes[i%len(mixes)], sim.ARCC)
+			c.InstructionsPerCore = instructions(cfg)
+			c.UpgradedFraction = 1
+			c.Pairing = pairings[i/len(mixes)]
+			return sim.RunWith(c, s).IPCSum
+		})
+	if err != nil {
+		return PairingAblationResult{}, err
+	}
+	for mi := range mixes {
+		res.FIFORatio = append(res.FIFORatio, ipcs[mi]/ipcs[len(mixes)+mi])
+	}
+	return res, nil
 }
 
 // Fprint renders the pairing ablation.

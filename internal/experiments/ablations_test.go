@@ -30,7 +30,7 @@ func TestAblationScrub(t *testing.T) {
 }
 
 func TestAblationLLCPolicy(t *testing.T) {
-	r := AblationLLCPolicy(quick())
+	r := runQuick(t, AblationLLCPolicy)
 	if len(r.Policies) != 2 || len(r.Mixes) != 3 {
 		t.Fatalf("shape %v/%v", r.Policies, r.Mixes)
 	}
@@ -52,7 +52,7 @@ func TestAblationLLCPolicy(t *testing.T) {
 }
 
 func TestAblationPairing(t *testing.T) {
-	r := AblationPairing(quick())
+	r := runQuick(t, AblationPairing)
 	for i, ratio := range r.FIFORatio {
 		// FIFO synchronisation can only cost performance, and only a little.
 		if ratio > 1.02 || ratio < 0.85 {

@@ -1,86 +1,55 @@
 // Package experiments contains one regenerator per table and figure of the
-// paper's evaluation. Each Fig/Table function computes the underlying data
-// with the packages that model the system and returns a structured result;
-// each result type has a Fprint method that renders the same rows/series
-// the paper reports. The cmd/arcc-experiments binary, the root benchmark
-// suite, and the integration tests all drive these entry points.
+// paper's evaluation, each registered as an exhibit (internal/exhibit) in
+// this package's init: callers discover them with exhibit.Lookup/All and
+// run them with Exhibit.Run(ctx, cfg), which yields a structured Report
+// renderable as text (byte-identical to the goldens), JSON, or CSV.
+//
+// The underlying Fig/Table functions remain exported for direct use: each
+// computes its data with the packages that model the system and returns a
+// typed result whose Fprint method renders the same rows/series the paper
+// reports. The Monte Carlo and simulator fan-outs all honour context
+// cancellation — a cancelled context aborts within one engine shard and
+// surfaces mc.ErrCanceled. The cmd/arcc-experiments binary, the root
+// benchmark suite, and the integration tests all drive these entry points
+// through the exhibit registry.
 package experiments
 
 import (
 	"fmt"
 	"io"
 
-	"arcc/internal/mc"
+	"arcc/internal/exhibit"
 )
 
-// Options tunes experiment cost. The zero value requests paper-scale runs;
-// Quick cuts simulation volume for tests and benchmarks.
-type Options struct {
-	// Quick trades precision for speed (shorter instruction budgets,
-	// fewer Monte Carlo channels).
-	Quick bool
-	// Seed drives all randomness; fixed default when zero.
-	Seed int64
-	// Parallel caps the worker count of the Monte Carlo engine and the
-	// per-mix simulation fan-out: 0 means GOMAXPROCS, 1 forces the serial
-	// path. Results are bit-identical at any setting for a given seed.
-	Parallel int
-	// Trials overrides the Monte Carlo channel count of the lifetime
-	// figures (0 keeps the profile default).
-	Trials int
-	// Progress, when non-nil, receives completion counts as an exhibit's
-	// Monte Carlo trials or simulator runs finish.
-	Progress func(done, total int)
-}
-
-// mcOpts returns the engine options for channel-sharded Monte Carlo. The
-// reliability sweeps behind the lifetime figures run on the engine's
-// scratch path: each worker reuses one fault-arrival buffer across the
-// trials it executes, so the per-trial hot loop does not allocate.
-func (o Options) mcOpts() mc.Options {
-	return mc.Options{Parallelism: o.Parallel, Progress: o.Progress}
-}
-
-// simOpts returns the engine options for fan-outs whose trials are whole
-// simulator runs: one run per shard.
-func (o Options) simOpts() mc.Options {
-	return mc.Options{Parallelism: o.Parallel, ShardSize: 1, Progress: o.Progress}
-}
-
-func (o Options) seed() int64 {
-	if o.Seed == 0 {
-		return 1
-	}
-	return o.Seed
-}
-
-// instructions returns the per-core instruction budget for sim runs.
-func (o Options) instructions() int64 {
-	if o.Quick {
+// instructions returns the per-core instruction budget for sim runs under
+// cfg's profile.
+func instructions(cfg exhibit.Config) int64 {
+	if cfg.Quick {
 		return 150_000
 	}
 	return 1_000_000
 }
 
-// channels returns the Monte Carlo channel count.
-func (o Options) channels() int {
-	if o.Trials > 0 {
-		return o.Trials
+// channels returns the Monte Carlo channel count under cfg's profile.
+func channels(cfg exhibit.Config) int {
+	if cfg.Trials > 0 {
+		return cfg.Trials
 	}
-	if o.Quick {
+	if cfg.Quick {
 		return 1_000
 	}
 	return 10_000
 }
 
 // Seed-derivation tags: every Monte Carlo consumer derives its base seed
-// as mc.DeriveSeed(o.seed(), tag+index), so no two exhibits (or rate
-// factors within one exhibit) share an RNG stream.
+// as mc.DeriveSeed(cfg.SeedOrDefault(), tag+index), so no two exhibits (or
+// rate factors within one exhibit) share an RNG stream.
 const (
 	tagFig31         uint64 = 0x3100
 	tagLifetimeMeas  uint64 = 0x7400
 	tagLifetimeWorst uint64 = 0x7500
 	tagFig76         uint64 = 0x7600
+	tagScenario      uint64 = 0x5C00
 )
 
 func fprintf(w io.Writer, format string, args ...any) {

@@ -2,11 +2,25 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"arcc/internal/exhibit"
 )
 
-func quick() Options { return Options{Quick: true} }
+func quick() exhibit.Config { return exhibit.NewConfig(exhibit.WithQuick(true)) }
+
+// runQuick runs an MC-backed exhibit function under a background context
+// with the quick profile, failing the test on error.
+func runQuick[T any](t *testing.T, f func(context.Context, exhibit.Config) (T, error)) T {
+	t.Helper()
+	r, err := f(context.Background(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
 
 func TestTables(t *testing.T) {
 	rows := Table71()
@@ -43,7 +57,7 @@ func TestTables(t *testing.T) {
 }
 
 func TestFig31(t *testing.T) {
-	r := Fig31(quick())
+	r := runQuick(t, Fig31)
 	if len(r.Fraction) != 3 || len(r.Fraction[0]) != 7 {
 		t.Fatalf("Fig 3.1 shape wrong")
 	}
@@ -86,7 +100,7 @@ func TestFig61(t *testing.T) {
 }
 
 func TestFig71(t *testing.T) {
-	r := Fig71(quick())
+	r := runQuick(t, Fig71)
 	if len(r.Mixes) != 12 {
 		t.Fatalf("%d mixes", len(r.Mixes))
 	}
@@ -112,7 +126,7 @@ func TestFig71(t *testing.T) {
 }
 
 func TestFig72(t *testing.T) {
-	r := Fig72(quick())
+	r := runQuick(t, Fig72)
 	if len(r.Scenarios) != 4 {
 		t.Fatalf("%d scenarios", len(r.Scenarios))
 	}
@@ -134,7 +148,7 @@ func TestFig72(t *testing.T) {
 }
 
 func TestFig73(t *testing.T) {
-	r := Fig73(quick())
+	r := runQuick(t, Fig73)
 	var sawGain, sawLoss bool
 	for m := range r.Mixes {
 		v := r.Normalized[0][m] // lane fault: all pages upgraded
@@ -157,9 +171,9 @@ func TestFig73(t *testing.T) {
 func TestFig74And75(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		run  func(Options) LifetimeResult
+		run  func(context.Context, exhibit.Config) (LifetimeResult, error)
 	}{{"Fig74", Fig74}, {"Fig75", Fig75}} {
-		r := tc.run(quick())
+		r := runQuick(t, tc.run)
 		if len(r.Measured) != 3 || len(r.WorstCase) != 3 {
 			t.Fatalf("%s: wrong factor count", tc.name)
 		}
@@ -193,7 +207,7 @@ func TestFig74And75(t *testing.T) {
 }
 
 func TestFig76(t *testing.T) {
-	r := Fig76(quick())
+	r := runQuick(t, Fig76)
 	if r.Measured != nil {
 		t.Fatal("Fig 7.6 reports worst case only")
 	}
@@ -213,7 +227,7 @@ func TestFig76(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, b := Fig31(quick()), Fig31(quick())
+	a, b := runQuick(t, Fig31), runQuick(t, Fig31)
 	for fi := range a.Fraction {
 		for y := range a.Fraction[fi] {
 			if a.Fraction[fi][y] != b.Fraction[fi][y] {
@@ -228,12 +242,20 @@ func TestDeterminism(t *testing.T) {
 // Fig 7.3 exhibits are byte-identical at parallelism 1, 4, and GOMAXPROCS,
 // even though each worker reuses one sim.Scratch across its runs.
 func TestFig7xIdenticalAtAnyParallelism(t *testing.T) {
+	ctx := context.Background()
 	render := func(parallel int) (string, string) {
-		o := quick()
-		o.Parallel = parallel
+		cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithParallel(parallel))
 		var b71, b73 bytes.Buffer
-		Fig71(o).Fprint(&b71)
-		Fig73(o).Fprint(&b73)
+		r71, err := Fig71(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r71.Fprint(&b71)
+		r73, err := Fig73(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r73.Fprint(&b73)
 		return b71.String(), b73.String()
 	}
 	want71, want73 := render(1)

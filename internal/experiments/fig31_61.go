@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
+	"arcc/internal/exhibit"
 	"arcc/internal/faultmodel"
 	"arcc/internal/mc"
 	"arcc/internal/reliability"
@@ -21,17 +23,21 @@ type Fig31Result struct {
 // Fig31 reproduces Figure 3.1 with a Monte Carlo over memory channels of
 // two 36-device ranks (the baseline shape the chapter uses). The channels
 // of each rate factor run on the sharded engine with a factor-specific
-// seed stream derived from o.Seed.
-func Fig31(o Options) Fig31Result {
+// seed stream derived from cfg's seed; a cancelled ctx aborts within one
+// shard and returns mc.ErrCanceled.
+func Fig31(ctx context.Context, cfg exhibit.Config) (Fig31Result, error) {
 	res := Fig31Result{Years: 7, Factors: []float64{1, 2, 4}}
 	shape := faultmodel.ARCCChannelShape()
 	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
-		seed := mc.DeriveSeed(o.seed(), tagFig31+uint64(fi))
-		res.Fraction = append(res.Fraction,
-			reliability.FaultyPageFraction(seed, o.mcOpts(), rates, shape, 2, 36, res.Years, o.channels()))
+		seed := mc.DeriveSeed(cfg.SeedOrDefault(), tagFig31+uint64(fi))
+		series, err := reliability.FaultyPageFractionCtx(ctx, seed, cfg.MCOptions(), rates, shape, 2, 36, res.Years, channels(cfg))
+		if err != nil {
+			return Fig31Result{}, err
+		}
+		res.Fraction = append(res.Fraction, series)
 	}
-	return res
+	return res, nil
 }
 
 // Fprint renders the Fig 3.1 series.
@@ -63,8 +69,9 @@ type Fig61Result struct {
 }
 
 // Fig61 reproduces Figure 6.1 using the closed-form reliability models
-// (validated against Monte Carlo in the reliability package's tests).
-func Fig61(o Options) Fig61Result {
+// (validated against Monte Carlo in the reliability package's tests). It
+// is pure computation — no Monte Carlo — so it takes no context.
+func Fig61(cfg exhibit.Config) Fig61Result {
 	res := Fig61Result{Lifespans: []float64{5, 6, 7}, Factors: []float64{1, 2, 4}}
 	for _, f := range res.Factors {
 		var rowS, rowA []float64

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
+	"arcc/internal/exhibit"
 	"arcc/internal/faultmodel"
 	"arcc/internal/mc"
 	"arcc/internal/sim"
@@ -44,18 +46,22 @@ type Fig71Result struct {
 // Fig71 reproduces Figure 7.1: DRAM power and performance improvement of
 // fault-free ARCC over commercial chipkill, per mix. The per-mix simulator
 // runs fan out across the engine's workers; each run is seeded from its
-// config alone, so the figure is identical at any parallelism.
-func Fig71(o Options) Fig71Result {
+// config alone, so the figure is identical at any parallelism. A
+// cancelled ctx aborts between runs and returns mc.ErrCanceled.
+func Fig71(ctx context.Context, cfg exhibit.Config) (Fig71Result, error) {
 	var res Fig71Result
 	mixes := workload.Mixes()
 	type pair struct{ base, arcc sim.Result }
-	pairs := mc.MapScratch(len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+	pairs, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, s *sim.Scratch) pair {
 			return pair{
-				base: runMix(mixes[i], sim.Baseline, 0, o, s),
-				arcc: runMix(mixes[i], sim.ARCC, 0, o, s),
+				base: runMix(mixes[i], sim.Baseline, 0, cfg, s),
+				arcc: runMix(mixes[i], sim.ARCC, 0, cfg, s),
 			}
 		})
+	if err != nil {
+		return Fig71Result{}, err
+	}
 	for i, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
 		res.PowerReduction = append(res.PowerReduction, 1-pairs[i].arcc.PowerMW/pairs[i].base.PowerMW)
@@ -63,7 +69,7 @@ func Fig71(o Options) Fig71Result {
 	}
 	res.AvgPowerReduction = stats.Mean(res.PowerReduction)
 	res.AvgIPCGain = stats.Mean(res.IPCGain)
-	return res
+	return res, nil
 }
 
 // Fprint renders the Fig 7.1 rows.
@@ -91,27 +97,37 @@ type FaultSweepResult struct {
 }
 
 // Fig72 reproduces Figure 7.2 (power under faults).
-func Fig72(o Options) FaultSweepResult { return faultSweep(o, "power") }
+func Fig72(ctx context.Context, cfg exhibit.Config) (FaultSweepResult, error) {
+	return faultSweep(ctx, cfg, "power")
+}
 
 // Fig73 reproduces Figure 7.3 (performance under faults).
-func Fig73(o Options) FaultSweepResult { return faultSweep(o, "ipc") }
+func Fig73(ctx context.Context, cfg exhibit.Config) (FaultSweepResult, error) {
+	return faultSweep(ctx, cfg, "ipc")
+}
 
-func faultSweep(o Options, metric string) FaultSweepResult {
+func faultSweep(ctx context.Context, cfg exhibit.Config, metric string) (FaultSweepResult, error) {
 	res := FaultSweepResult{Metric: metric, Scenarios: FaultScenarios()}
 	mixes := workload.Mixes()
 	// Fault-free reference runs, then every (scenario, mix) cell, each a
 	// whole simulator run fanned out across the engine's workers.
-	clean := mc.MapScratch(len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+	clean, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, s *sim.Scratch) sim.Result {
-			return runMix(mixes[i], sim.ARCC, 0, o, s)
+			return runMix(mixes[i], sim.ARCC, 0, cfg, s)
 		})
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
 	for i := range mixes {
 		res.Mixes = append(res.Mixes, mixes[i].Name)
 	}
-	cells := mc.MapScratch(len(res.Scenarios)*len(mixes), o.seed(), o.simOpts(), sim.NewScratch,
+	cells, err := mc.MapScratchCtx(ctx, len(res.Scenarios)*len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, s *sim.Scratch) sim.Result {
-			return runMix(mixes[i%len(mixes)], sim.ARCC, res.Scenarios[i/len(mixes)].Fraction, o, s)
+			return runMix(mixes[i%len(mixes)], sim.ARCC, res.Scenarios[i/len(mixes)].Fraction, cfg, s)
 		})
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
 	for s, sc := range res.Scenarios {
 		row := make([]float64, len(mixes))
 		for i := range mixes {
@@ -133,7 +149,7 @@ func faultSweep(o Options, metric string) FaultSweepResult {
 			res.WorstCase = append(res.WorstCase, 1-0.5*sc.Fraction)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Fprint renders a fault sweep.
@@ -166,10 +182,10 @@ func (r FaultSweepResult) Fprint(w io.Writer) {
 }
 
 // runMix runs one sim configuration against the shard's scratch.
-func runMix(mix workload.Mix, system sim.MemorySystem, upgradedFraction float64, o Options, s *sim.Scratch) sim.Result {
-	cfg := sim.DefaultConfig(mix, system)
-	cfg.InstructionsPerCore = o.instructions()
-	cfg.UpgradedFraction = upgradedFraction
-	cfg.Seed = o.seed()
-	return sim.RunWith(cfg, s)
+func runMix(mix workload.Mix, system sim.MemorySystem, upgradedFraction float64, cfg exhibit.Config, s *sim.Scratch) sim.Result {
+	c := sim.DefaultConfig(mix, system)
+	c.InstructionsPerCore = instructions(cfg)
+	c.UpgradedFraction = upgradedFraction
+	c.Seed = cfg.SeedOrDefault()
+	return sim.RunWith(c, s)
 }

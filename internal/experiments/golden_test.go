@@ -2,40 +2,88 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"testing"
+
+	"arcc/internal/exhibit"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
-// The golden tests pin the rendered output of the deterministic exhibits:
-// the static tables, the closed-form Fig 6.1, and the seeded Monte Carlo
-// Fig 3.1 (quick profile, seed 1 — bit-identical at any parallelism by the
-// engine's contract). A refactor that drifts any of the paper's numbers,
-// or even their formatting, fails here; run `go test ./internal/experiments
-// -run Golden -update` to bless an intentional change.
-func TestGoldenExhibits(t *testing.T) {
-	o := Options{Quick: true, Seed: 1}
-	cases := []struct {
-		name  string
-		print func(*bytes.Buffer)
-	}{
-		{"table71", func(b *bytes.Buffer) { FprintTable71(b) }},
-		{"table72", func(b *bytes.Buffer) { FprintTable72(b) }},
-		{"table73", func(b *bytes.Buffer) { FprintTable73(b) }},
-		{"table74", func(b *bytes.Buffer) { FprintTable74(b) }},
-		{"fig61", func(b *bytes.Buffer) { Fig61(o).Fprint(b) }},
-		{"fig31_quick_seed1", func(b *bytes.Buffer) { Fig31(o).Fprint(b) }},
+// goldenFiles maps every registered exhibit to its golden file. The
+// deterministic exhibits (static tables, closed-form Fig 6.1, functional
+// ablation-scrub, closed-form due) render identically under any profile;
+// the Monte Carlo and simulator exhibits are pinned under the quick
+// profile at seed 1 — bit-identical at any parallelism by the engine's
+// contract, which TestGoldenExhibits enforces by rendering each exhibit
+// at parallelism 1, 4, and GOMAXPROCS.
+var goldenFiles = map[string]string{
+	"t7.1":             "table71",
+	"t7.2":             "table72",
+	"t7.3":             "table73",
+	"t7.4":             "table74",
+	"f3.1":             "fig31_quick_seed1",
+	"f6.1":             "fig61",
+	"f7.1":             "fig71_quick_seed1",
+	"f7.2":             "fig72_quick_seed1",
+	"f7.3":             "fig73_quick_seed1",
+	"f7.4":             "fig74_quick_seed1",
+	"f7.5":             "fig75_quick_seed1",
+	"f7.6":             "fig76_quick_seed1",
+	"due":              "due",
+	"ablation-scrub":   "ablation_scrub",
+	"ablation-llc":     "ablation_llc_quick_seed1",
+	"ablation-pairing": "ablation_pairing_quick_seed1",
+}
+
+// renderText runs an exhibit through the registry and renders its report
+// with the text renderer.
+func renderText(t *testing.T, name string, parallel int) []byte {
+	t.Helper()
+	e, ok := exhibit.Lookup(name)
+	if !ok {
+		t.Fatalf("exhibit %q not registered", name)
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var buf bytes.Buffer
-			tc.print(&buf)
-			path := filepath.Join("testdata", tc.name+".golden")
+	cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithSeed(1), exhibit.WithParallel(parallel))
+	r, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (exhibit.TextRenderer{}).Render(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenExhibits pins the text rendering of every registered exhibit:
+// a refactor that drifts any of the paper's numbers, or even their
+// formatting, fails here. Each exhibit renders at parallelism 1, 4, and
+// GOMAXPROCS and every rendering must match the golden byte for byte —
+// the engine's bit-identical-at-any-parallelism contract, enforced at the
+// exhibit surface. Run `go test ./internal/experiments -run Golden
+// -update` to bless an intentional change.
+func TestGoldenExhibits(t *testing.T) {
+	if len(goldenFiles) != len(exhibit.All()) {
+		t.Fatalf("golden map covers %d exhibits, registry has %d — add the new exhibit's golden",
+			len(goldenFiles), len(exhibit.All()))
+	}
+	parallelisms := []int{1, 4, runtime.NumCPU()}
+	if testing.Short() {
+		parallelisms = []int{runtime.NumCPU()}
+	}
+	for _, e := range exhibit.All() {
+		golden := goldenFiles[e.Name]
+		t.Run(golden, func(t *testing.T) {
+			path := filepath.Join("testdata", golden+".golden")
 			if *updateGolden {
-				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				if err := os.WriteFile(path, renderText(t, e.Name, 0), 0o644); err != nil {
 					t.Fatal(err)
 				}
 				return
@@ -44,9 +92,92 @@ func TestGoldenExhibits(t *testing.T) {
 			if err != nil {
 				t.Fatalf("missing golden file (run with -update to create): %v", err)
 			}
-			if !bytes.Equal(buf.Bytes(), want) {
-				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+			for _, par := range parallelisms {
+				got := renderText(t, e.Name, par)
+				if !bytes.Equal(got, want) {
+					t.Errorf("output drifted from %s at parallelism %d:\n--- got ---\n%s\n--- want ---\n%s",
+						path, par, got, want)
+				}
 			}
 		})
+	}
+}
+
+// TestJSONReportRoundTrip pins the JSON renderer's schema: the "data"
+// field of a rendered report unmarshals back into the exhibit's typed
+// rows and compares equal to the in-memory result. Exercised across the
+// exhibit kinds (static table, Monte Carlo series, simulator sweep,
+// closed form) so every result type's JSON surface stays stable.
+func TestJSONReportRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		data func() any // fresh zero holder for the typed rows
+	}{
+		{"t7.1", func() any { return &[]Table71Row{} }},
+		{"t7.4", func() any { return &[]Table74Row{} }},
+		{"f3.1", func() any { return &Fig31Result{} }},
+		{"f6.1", func() any { return &Fig61Result{} }},
+		{"due", func() any { return &DUEResult{} }},
+		{"ablation-scrub", func() any { return &[]ScrubAblationRow{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, ok := exhibit.Lookup(tc.name)
+			if !ok {
+				t.Fatalf("exhibit %q not registered", tc.name)
+			}
+			cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithSeed(1))
+			report, err := e.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := (exhibit.JSONRenderer{}).Render(&buf, report); err != nil {
+				t.Fatal(err)
+			}
+			var wire struct {
+				Exhibit string          `json:"exhibit"`
+				Title   string          `json:"title"`
+				Meta    exhibit.Meta    `json:"meta"`
+				Data    json.RawMessage `json:"data"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &wire); err != nil {
+				t.Fatalf("report is not valid JSON: %v", err)
+			}
+			if wire.Exhibit != tc.name || wire.Title != report.Title {
+				t.Fatalf("envelope drifted: %q / %q", wire.Exhibit, wire.Title)
+			}
+			if wire.Meta != report.Meta {
+				t.Fatalf("meta drifted: %+v vs %+v", wire.Meta, report.Meta)
+			}
+			holder := tc.data()
+			if err := json.Unmarshal(wire.Data, holder); err != nil {
+				t.Fatalf("data does not unmarshal into the typed rows: %v", err)
+			}
+			got := reflect.ValueOf(holder).Elem().Interface()
+			if !reflect.DeepEqual(got, report.Data) {
+				t.Errorf("typed rows did not round-trip:\n got %+v\nwant %+v", got, report.Data)
+			}
+		})
+	}
+}
+
+// TestCSVRendering smoke-checks the tabular projection of every exhibit
+// that carries one: headers and row widths must agree, which the CSV
+// renderer enforces.
+func TestCSVRendering(t *testing.T) {
+	for _, name := range []string{"t7.1", "f3.1", "f6.1", "due", "ablation-scrub"} {
+		e, _ := exhibit.Lookup(name)
+		report, err := e.Run(context.Background(), quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := (exhibit.CSVRenderer{}).Render(&buf, report); err != nil {
+			t.Errorf("%s: csv render failed: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty csv", name)
+		}
 	}
 }

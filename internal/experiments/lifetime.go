@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
+	"arcc/internal/exhibit"
 	"arcc/internal/faultmodel"
 	"arcc/internal/lotecc"
 	"arcc/internal/mc"
@@ -27,25 +29,31 @@ type LifetimeResult struct {
 
 // Fig74 reproduces Figure 7.4 (average power overhead of error correction
 // vs time). Per-fault-type measured overheads come from the Fig 7.2 sweep.
-func Fig74(o Options) LifetimeResult {
-	f72 := Fig72(o)
+func Fig74(ctx context.Context, cfg exhibit.Config) (LifetimeResult, error) {
+	f72, err := Fig72(ctx, cfg)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
 	measured := overheadsFromSweep(f72, false)
-	return lifetimeSweep(o, "Figure 7.4: Power Overhead of Error Correction", "power increase",
+	return lifetimeSweep(ctx, cfg, "Figure 7.4: Power Overhead of Error Correction", "power increase",
 		measured, reliability.WorstCaseOverheads(faultmodel.ARCCChannelShape(), 2), 1.0)
 }
 
 // Fig75 reproduces Figure 7.5 (average performance overhead vs time).
-func Fig75(o Options) LifetimeResult {
-	f73 := Fig73(o)
+func Fig75(ctx context.Context, cfg exhibit.Config) (LifetimeResult, error) {
+	f73, err := Fig73(ctx, cfg)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
 	measured := overheadsFromSweep(f73, true)
-	return lifetimeSweep(o, "Figure 7.5: Performance Overhead of Error Correction", "performance decrease",
+	return lifetimeSweep(ctx, cfg, "Figure 7.5: Performance Overhead of Error Correction", "performance decrease",
 		measured, worstCasePerf(), 0.5)
 }
 
 // Fig76 reproduces Figure 7.6: the worst-case power/performance overhead of
 // ARCC applied to LOT-ECC (9-device relaxed, 18-device upgraded), where an
 // upgraded access costs 4x a relaxed one.
-func Fig76(o Options) LifetimeResult {
+func Fig76(ctx context.Context, cfg exhibit.Config) (LifetimeResult, error) {
 	factor := lotecc.WorstCaseUpgradedPowerFactor()
 	ov := reliability.WorstCaseOverheads(faultmodel.ARCCChannelShape(), factor)
 	res := LifetimeResult{
@@ -56,11 +64,14 @@ func Fig76(o Options) LifetimeResult {
 	}
 	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
-		seed := mc.DeriveSeed(o.seed(), tagFig76+uint64(fi))
-		series := reliability.LifetimeOverhead(seed, o.mcOpts(), rates, 2, 9, res.Years, o.channels(), ov, factor-1)
+		seed := mc.DeriveSeed(cfg.SeedOrDefault(), tagFig76+uint64(fi))
+		series, err := reliability.LifetimeOverheadCtx(ctx, seed, cfg.MCOptions(), rates, 2, 9, res.Years, channels(cfg), ov, factor-1)
+		if err != nil {
+			return LifetimeResult{}, err
+		}
 		res.WorstCase = append(res.WorstCase, series)
 	}
-	return res
+	return res, nil
 }
 
 // overheadsFromSweep converts a Fig 7.2/7.3 sweep into per-fault-type
@@ -98,18 +109,24 @@ func worstCasePerf() reliability.OverheadByType {
 	return out
 }
 
-func lifetimeSweep(o Options, title, metric string, measured, worst reliability.OverheadByType, cap float64) LifetimeResult {
+func lifetimeSweep(ctx context.Context, cfg exhibit.Config, title, metric string, measured, worst reliability.OverheadByType, cap float64) (LifetimeResult, error) {
 	res := LifetimeResult{Title: title, Metric: metric, Years: 7, Factors: []float64{1, 2, 4}}
 	for fi, f := range res.Factors {
 		rates := faultmodel.FieldStudyRates().Scale(f)
-		res.Measured = append(res.Measured,
-			reliability.LifetimeOverhead(mc.DeriveSeed(o.seed(), tagLifetimeMeas+uint64(fi)),
-				o.mcOpts(), rates, 2, 18, res.Years, o.channels(), measured, cap))
-		res.WorstCase = append(res.WorstCase,
-			reliability.LifetimeOverhead(mc.DeriveSeed(o.seed(), tagLifetimeWorst+uint64(fi)),
-				o.mcOpts(), rates, 2, 18, res.Years, o.channels(), worst, cap))
+		meas, err := reliability.LifetimeOverheadCtx(ctx, mc.DeriveSeed(cfg.SeedOrDefault(), tagLifetimeMeas+uint64(fi)),
+			cfg.MCOptions(), rates, 2, 18, res.Years, channels(cfg), measured, cap)
+		if err != nil {
+			return LifetimeResult{}, err
+		}
+		res.Measured = append(res.Measured, meas)
+		wc, err := reliability.LifetimeOverheadCtx(ctx, mc.DeriveSeed(cfg.SeedOrDefault(), tagLifetimeWorst+uint64(fi)),
+			cfg.MCOptions(), rates, 2, 18, res.Years, channels(cfg), worst, cap)
+		if err != nil {
+			return LifetimeResult{}, err
+		}
+		res.WorstCase = append(res.WorstCase, wc)
 	}
-	return res
+	return res, nil
 }
 
 // Fprint renders a lifetime series.

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"arcc/internal/exhibit"
+	"arcc/internal/mc"
+	"arcc/internal/reliability"
+	"arcc/internal/sim"
+	"arcc/internal/workload"
+)
+
+// ScenarioResult holds everything a declarative scenario computes: the
+// lifetime reliability sweep of the described channel, the closed-form
+// SDC/DUE rates, and (when the scenario names workload mixes) a
+// full-system simulator sweep at the scenario's upgraded fraction.
+type ScenarioResult struct {
+	Scenario exhibit.Scenario
+	// FaultyFraction[y] is the average fraction of pages affected by
+	// faults by the end of year y+1 (Fig 3.1 methodology).
+	FaultyFraction []float64
+	// Overhead[y] is the worst-case average access-cost overhead through
+	// year y+1 under the scenario's upgrade factor (Fig 7.4 methodology).
+	Overhead []float64
+	// SDCs per 1000 machine-years (closed form, Fig 6.1 methodology).
+	SDCSCCDCD, SDCARCC float64
+	// Expected DUE events per machine lifetime (§6.1 methodology).
+	DUESCCDCD, DUEARCC, DUESparing float64
+	// Simulator sweep, one entry per scenario mix; nil when the scenario
+	// names no mixes.
+	Mixes []string
+	// IPC and PowerMW are the runs at the scenario's upgraded fraction;
+	// the Vs ratios normalize to the fault-free run of the same mix.
+	IPC, PowerMW             []float64
+	IPCVsClean, PowerVsClean []float64
+}
+
+// NewScenarioExhibit turns a declarative scenario into a runnable
+// exhibit. It validates the parts the exhibit package cannot — the
+// workload mix names — and returns an exhibit named after the scenario.
+// The exhibit is returned, not registered: scenario names come from user
+// files and must not collide with (or shadow) the paper's exhibits.
+func NewScenarioExhibit(s exhibit.Scenario) (exhibit.Exhibit, error) {
+	if err := s.Validate(); err != nil {
+		return exhibit.Exhibit{}, err
+	}
+	if _, err := scenarioMixes(s); err != nil {
+		return exhibit.Exhibit{}, err
+	}
+	return exhibit.Exhibit{
+		Name:     s.Name,
+		Title:    "Scenario: " + s.Name,
+		Describe: s.Description,
+		Run: func(ctx context.Context, cfg exhibit.Config) (*exhibit.Report, error) {
+			r, err := RunScenario(ctx, cfg, s)
+			if err != nil {
+				return nil, err
+			}
+			return newReport(s.Name, "Scenario: "+s.Name, cfg, r, r.Tables(), r.Fprint), nil
+		},
+	}, nil
+}
+
+// scenarioMixes resolves the scenario's mix names against Table 7.3.
+func scenarioMixes(s exhibit.Scenario) ([]workload.Mix, error) {
+	all := workload.Mixes()
+	out := make([]workload.Mix, 0, len(s.Mixes))
+	for _, name := range s.Mixes {
+		found := false
+		for _, m := range all {
+			if m.Name == name {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: scenario %q: unknown mix %q (Table 7.3 has Mix1..Mix%d)",
+				s.Name, name, len(all))
+		}
+	}
+	return out, nil
+}
+
+// RunScenario computes a declarative scenario under cfg: the Monte Carlo
+// channel count comes from cfg.Trials when set, otherwise the scenario's;
+// seeds derive from cfg's root seed, so a scenario is bit-identical at
+// any parallelism like every other exhibit.
+func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (ScenarioResult, error) {
+	if err := s.Validate(); err != nil {
+		return ScenarioResult{}, err
+	}
+	mixes, err := scenarioMixes(s)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	rates := s.Rates()
+	shape := s.Shape()
+	factor := s.CostFactor()
+	trials := s.Trials
+	if cfg.Trials > 0 {
+		trials = cfg.Trials
+	} else if cfg.Quick && trials > 1_000 {
+		trials = 1_000
+	}
+	// The report embeds the *effective* parameters — what actually ran —
+	// so a serialized scenario reproduces the numbers it carries.
+	s.Trials = trials
+	res := ScenarioResult{Scenario: s}
+
+	res.FaultyFraction, err = reliability.FaultyPageFractionCtx(ctx,
+		mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
+		rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	ov := reliability.WorstCaseOverheads(shape, factor)
+	res.Overhead, err = reliability.LifetimeOverheadCtx(ctx,
+		mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
+		rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	p := reliability.Params{
+		Rates:           rates,
+		RanksPerChannel: s.Ranks,
+		DevicesPerRank:  s.DevicesPerRank,
+		Geom:            reliability.RankGeom{Devices: s.DevicesPerRank, Banks: s.BanksPerDevice, Rows: 16384, Cols: 64},
+		ScrubHours:      s.ScrubHours,
+		LifeYears:       float64(s.Years),
+	}
+	res.SDCSCCDCD = reliability.SDCsPer1000MachineYears(reliability.SCCDCDExpectedSDCs(p), p.LifeYears)
+	res.SDCARCC = reliability.SDCsPer1000MachineYears(reliability.ARCCDEDExpectedSDCs(p), p.LifeYears)
+	res.DUESCCDCD = reliability.SCCDCDExpectedDUEs(p)
+	res.DUEARCC = reliability.ARCCExpectedDUEs(p)
+	res.DUESparing = reliability.SparingExpectedDUEs(p)
+
+	if len(mixes) == 0 {
+		return res, nil
+	}
+	system := sim.ARCC
+	if s.System == "baseline" {
+		system = sim.Baseline
+	}
+	instr := s.Instructions
+	if instr == 0 {
+		instr = instructions(cfg)
+		s.Instructions = instr
+		res.Scenario = s
+	}
+	// Per mix: a fault-free reference run and the scenario run, fanned
+	// out across the engine's workers (one simulator run per shard).
+	type pair struct{ clean, faulted sim.Result }
+	pairs, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
+		func(_ *rand.Rand, i int, scratch *sim.Scratch) pair {
+			run := func(upgraded float64) sim.Result {
+				c := sim.DefaultConfig(mixes[i], system)
+				c.InstructionsPerCore = instr
+				c.UpgradedFraction = upgraded
+				c.Seed = cfg.SeedOrDefault()
+				return sim.RunWith(c, scratch)
+			}
+			return pair{clean: run(0), faulted: run(s.UpgradedFraction)}
+		})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	for i, m := range mixes {
+		res.Mixes = append(res.Mixes, m.Name)
+		res.IPC = append(res.IPC, pairs[i].faulted.IPCSum)
+		res.PowerMW = append(res.PowerMW, pairs[i].faulted.PowerMW)
+		res.IPCVsClean = append(res.IPCVsClean, pairs[i].faulted.IPCSum/pairs[i].clean.IPCSum)
+		res.PowerVsClean = append(res.PowerVsClean, pairs[i].faulted.PowerMW/pairs[i].clean.PowerMW)
+	}
+	return res, nil
+}
+
+// Fprint renders the scenario report.
+func (r ScenarioResult) Fprint(w io.Writer) {
+	s := r.Scenario
+	fprintf(w, "Scenario: %s\n", s.Name)
+	if s.Description != "" {
+		fprintf(w, "%s\n", s.Description)
+	}
+	fprintf(w, "channel: %d x %d-device ranks, %d banks/device, %gx field-study rates, %s upgrade cost %.0fx\n",
+		s.Ranks, s.DevicesPerRank, s.BanksPerDevice, s.RateFactor, s.Scheme, s.CostFactor())
+	fprintf(w, "\n%-6s %-16s %-16s\n", "Year", "faulty pages", "worst overhead")
+	for y := range r.FaultyFraction {
+		fprintf(w, "%-6d %14.4f%% %14.4f%%\n", y+1, r.FaultyFraction[y]*100, r.Overhead[y]*100)
+	}
+	fprintf(w, "\nSDCs per 1000 machine-years: SCCDCD DED %.3e, ARCC DED %.3e\n", r.SDCSCCDCD, r.SDCARCC)
+	fprintf(w, "expected DUEs per lifetime:  SCCDCD %.3e, SCCDCD+ARCC %.3e, chip sparing %.3e\n",
+		r.DUESCCDCD, r.DUEARCC, r.DUESparing)
+	if len(r.Mixes) > 0 {
+		fprintf(w, "\nsimulator sweep (%s, %.1f%% of pages upgraded):\n", s.System, s.UpgradedFraction*100)
+		fprintf(w, "%-8s %-10s %-12s %-14s %-14s\n", "Mix", "IPC", "Power (mW)", "IPC vs clean", "power vs clean")
+		for i, m := range r.Mixes {
+			fprintf(w, "%-8s %-10.3f %-12.1f %-14.3f %-14.3f\n",
+				m, r.IPC[i], r.PowerMW[i], r.IPCVsClean[i], r.PowerVsClean[i])
+		}
+	}
+}
+
+// Tables projects a scenario result for the CSV renderer.
+func (r ScenarioResult) Tables() []exhibit.Table {
+	lifetime := exhibit.Table{Name: "lifetime",
+		Columns: []string{"year", "faulty_fraction", "worst_overhead"}}
+	for y := range r.FaultyFraction {
+		lifetime.Rows = append(lifetime.Rows, exhibit.Row(exhibit.Itoa(y+1),
+			exhibit.Ftoa(r.FaultyFraction[y]), exhibit.Ftoa(r.Overhead[y])))
+	}
+	rates := exhibit.Table{Name: "rates",
+		Columns: []string{"sdc_sccdcd", "sdc_arcc", "due_sccdcd", "due_arcc", "due_sparing"},
+		Rows: [][]string{exhibit.Row(exhibit.Ftoa(r.SDCSCCDCD), exhibit.Ftoa(r.SDCARCC),
+			exhibit.Ftoa(r.DUESCCDCD), exhibit.Ftoa(r.DUEARCC), exhibit.Ftoa(r.DUESparing))}}
+	out := []exhibit.Table{lifetime, rates}
+	if len(r.Mixes) > 0 {
+		sweep := exhibit.Table{Name: "sim_sweep",
+			Columns: []string{"mix", "ipc", "power_mw", "ipc_vs_clean", "power_vs_clean"}}
+		for i, m := range r.Mixes {
+			sweep.Rows = append(sweep.Rows, exhibit.Row(m, exhibit.Ftoa(r.IPC[i]),
+				exhibit.Ftoa(r.PowerMW[i]), exhibit.Ftoa(r.IPCVsClean[i]), exhibit.Ftoa(r.PowerVsClean[i])))
+		}
+		out = append(out, sweep)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"arcc/internal/exhibit"
+	"arcc/internal/mc"
+)
+
+func testScenario() exhibit.Scenario {
+	s := exhibit.DefaultScenario()
+	s.Name = "test-sweep"
+	s.Description = "a sweep the paper never shipped"
+	s.RateFactor = 3
+	s.Ranks = 3
+	s.DevicesPerRank = 12
+	s.Years = 5
+	s.Trials = 400
+	s.Scheme = "lotecc"
+	s.Mixes = []string{"Mix1", "Mix7"}
+	s.UpgradedFraction = 0.25
+	return s
+}
+
+func TestRunScenario(t *testing.T) {
+	cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithSeed(1))
+	r, err := RunScenario(context.Background(), cfg, testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FaultyFraction) != 5 || len(r.Overhead) != 5 {
+		t.Fatalf("series length wrong: %d/%d", len(r.FaultyFraction), len(r.Overhead))
+	}
+	for y := 1; y < 5; y++ {
+		if r.FaultyFraction[y] < r.FaultyFraction[y-1] {
+			t.Fatal("faulty fraction shrank with age")
+		}
+	}
+	if r.FaultyFraction[4] <= 0 || r.Overhead[4] <= 0 {
+		t.Fatal("3x-rate scenario produced no faults at all")
+	}
+	if len(r.Mixes) != 2 || len(r.IPC) != 2 || len(r.IPCVsClean) != 2 {
+		t.Fatalf("sim sweep shape wrong: %+v", r.Mixes)
+	}
+	for i := range r.Mixes {
+		if r.IPC[i] <= 0 || r.PowerMW[i] <= 0 {
+			t.Fatalf("mix %s: non-positive sim results", r.Mixes[i])
+		}
+		// A quarter of pages upgraded costs some power, bounded by the
+		// all-upgraded worst case.
+		if r.PowerVsClean[i] < 0.97 || r.PowerVsClean[i] > 1.30 {
+			t.Errorf("mix %s: power ratio %v outside [0.97, 1.30]", r.Mixes[i], r.PowerVsClean[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"Scenario: test-sweep", "faulty pages", "simulator sweep", "Mix7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario rendering missing %q", want)
+		}
+	}
+	if n := len(r.Tables()); n != 3 {
+		t.Fatalf("scenario with sim sweep must project 3 tables, got %d", n)
+	}
+}
+
+// TestScenarioDeterministicAtAnyParallelism extends the engine contract to
+// user-defined scenarios.
+func TestScenarioDeterministicAtAnyParallelism(t *testing.T) {
+	render := func(parallel int) string {
+		cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithParallel(parallel))
+		r, err := RunScenario(context.Background(), cfg, testScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Fprint(&buf)
+		return buf.String()
+	}
+	want := render(1)
+	if got := render(4); got != want {
+		t.Errorf("scenario drifted at parallelism 4:\n%s\nvs serial:\n%s", got, want)
+	}
+}
+
+func TestNewScenarioExhibit(t *testing.T) {
+	ex, err := NewScenarioExhibit(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Name != "test-sweep" {
+		t.Fatalf("exhibit name %q", ex.Name)
+	}
+	report, err := ex.Run(context.Background(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Exhibit != "test-sweep" || report.Data == nil || report.Text == nil {
+		t.Fatalf("scenario report incomplete: %+v", report)
+	}
+
+	bad := testScenario()
+	bad.Mixes = []string{"Mix99"}
+	if _, err := NewScenarioExhibit(bad); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestExhibitCancellation cancels the context before running MC-backed
+// exhibits and asserts the sentinel surfaces through the exhibit API.
+func TestExhibitCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"f3.1", "f7.1", "f7.4", "ablation-llc"} {
+		e, ok := exhibit.Lookup(name)
+		if !ok {
+			t.Fatalf("exhibit %q not registered", name)
+		}
+		if _, err := e.Run(ctx, quick()); !errors.Is(err, mc.ErrCanceled) {
+			t.Errorf("%s: error = %v, want mc.ErrCanceled", name, err)
+		}
+	}
+	if _, err := RunScenario(ctx, quick(), testScenario()); !errors.Is(err, mc.ErrCanceled) {
+		t.Errorf("scenario: error = %v, want mc.ErrCanceled", err)
+	}
+}

@@ -22,12 +22,21 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"sync"
 )
+
+// ErrCanceled is the sentinel RunCtx (and the MapCtx/MapScratchCtx
+// wrappers) return when the context is cancelled before the job
+// completes. The engine stops within one shard boundary of the cancel: no
+// new shard starts once the context is done, in-flight shards finish, and
+// every worker goroutine exits before RunCtx returns.
+var ErrCanceled = errors.New("mc: run canceled")
 
 // DefaultShardSize is the number of trials per shard when Options.ShardSize
 // is zero. Small enough to load-balance thousands of cheap trials across a
@@ -108,6 +117,22 @@ func (o Options) shardSize() int {
 // Run executes the job and returns the merge of all shard accumulators
 // (shard 0's accumulator after folding shards 1..n-1 into it, in order).
 func Run(job Job, opts Options) Accumulator {
+	acc, err := RunCtx(context.Background(), job, opts)
+	if err != nil {
+		// A background context never cancels, and RunCtx has no other
+		// error path.
+		panic(err)
+	}
+	return acc
+}
+
+// RunCtx is Run under a context: it executes the job and returns the
+// merge of all shard accumulators (shard 0's accumulator after folding
+// shards 1..n-1 into it, in order). If ctx is cancelled mid-run it
+// returns (nil, ErrCanceled) within one shard boundary instead of
+// completing the fan-out; a run that completes is unaffected by a cancel
+// that arrives afterwards.
+func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 	if job.Trials <= 0 {
 		panic(fmt.Sprintf("mc: non-positive trial count %d", job.Trials))
 	}
@@ -158,6 +183,9 @@ func Run(job Job, opts Options) Accumulator {
 		scratch := newScratch()
 		done := 0
 		for s := 0; s < shards; s++ {
+			if ctx.Err() != nil {
+				return nil, ErrCanceled
+			}
 			runShard(s, scratch)
 			done += shardTrials(s, size, job.Trials)
 			if opts.Progress != nil {
@@ -177,6 +205,11 @@ func Run(job Job, opts Options) Accumulator {
 				defer wg.Done()
 				scratch := newScratch()
 				for s := range shardCh {
+					// Drain without working once the run is cancelled, so
+					// the dispatcher never blocks and the pool exits.
+					if ctx.Err() != nil {
+						continue
+					}
 					runShard(s, scratch)
 					if opts.Progress != nil {
 						mu.Lock()
@@ -187,18 +220,33 @@ func Run(job Job, opts Options) Accumulator {
 				}
 			}()
 		}
+	dispatch:
 		for s := 0; s < shards; s++ {
-			shardCh <- s
+			select {
+			case shardCh <- s:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(shardCh)
 		wg.Wait()
+	}
+	if ctx.Err() != nil {
+		// A cancel that raced the finish line loses: when every shard ran
+		// to completion the result is whole, so return it. Only a run
+		// with shards actually skipped is cancelled.
+		for s := 0; s < shards; s++ {
+			if accs[s] == nil {
+				return nil, ErrCanceled
+			}
+		}
 	}
 
 	out := accs[0]
 	for s := 1; s < shards; s++ {
 		out.Merge(accs[s])
 	}
-	return out
+	return out, nil
 }
 
 // shardTrials returns how many trials shard s covers.
@@ -260,11 +308,21 @@ func NewProgressPrinter(w io.Writer, label string) func(done, total int) {
 // independent value (e.g. one simulator run per seed). The per-trial rng
 // comes from the trial's shard stream as usual.
 func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial int) T) []T {
+	out, err := MapCtx(context.Background(), n, seed, opts, f)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return out
+}
+
+// MapCtx is Map under a context: a cancelled context returns
+// (nil, ErrCanceled) within one shard boundary.
+func MapCtx[T any](ctx context.Context, n int, seed int64, opts Options, f func(rng *rand.Rand, trial int) T) ([]T, error) {
 	size := opts.shardSize()
 	if size > n {
 		size = n
 	}
-	acc := Run(Job{
+	acc, err := RunCtx(ctx, Job{
 		Trials: n,
 		Seed:   seed,
 		// Pre-size each shard's buffers to the shard size, so the trial
@@ -278,12 +336,10 @@ func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial in
 			ma.vals = append(ma.vals, f(rng, trial))
 		},
 	}, opts)
-	ma := acc.(*mapAcc[T])
-	out := make([]T, n)
-	for i, idx := range ma.idx {
-		out[idx] = ma.vals[i]
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return collectMap[T](acc, n), nil
 }
 
 // MapScratch is Map with a reusable scratch workspace, mirroring the
@@ -295,11 +351,21 @@ func Map[T any](n int, seed int64, opts Options, f func(rng *rand.Rand, trial in
 // sim.Scratch this way, so consecutive simulator runs on a worker reuse one
 // world's backing arrays.
 func MapScratch[T, S any](n int, seed int64, opts Options, newScratch func() S, f func(rng *rand.Rand, trial int, scratch S) T) []T {
+	out, err := MapScratchCtx(context.Background(), n, seed, opts, newScratch, f)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return out
+}
+
+// MapScratchCtx is MapScratch under a context: a cancelled context
+// returns (nil, ErrCanceled) within one shard boundary.
+func MapScratchCtx[T, S any](ctx context.Context, n int, seed int64, opts Options, newScratch func() S, f func(rng *rand.Rand, trial int, scratch S) T) ([]T, error) {
 	size := opts.shardSize()
 	if size > n {
 		size = n
 	}
-	acc := Run(Job{
+	acc, err := RunCtx(ctx, Job{
 		Trials: n,
 		Seed:   seed,
 		NewAcc: func() Accumulator {
@@ -312,6 +378,14 @@ func MapScratch[T, S any](n int, seed int64, opts Options, newScratch func() S, 
 			ma.vals = append(ma.vals, f(rng, trial, scratch.(S)))
 		},
 	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return collectMap[T](acc, n), nil
+}
+
+// collectMap reorders a merged mapAcc into trial order.
+func collectMap[T any](acc Accumulator, n int) []T {
 	ma := acc.(*mapAcc[T])
 	out := make([]T, n)
 	for i, idx := range ma.idx {

@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -52,10 +53,22 @@ func newArrivalScratch(rates faultmodel.Rates, ranks, devicesPerRank int, years 
 // 1..years.
 func FaultyPageFraction(seed int64, opts mc.Options, rates faultmodel.Rates, shape faultmodel.ChannelShape,
 	ranks, devicesPerRank int, years, channels int) []float64 {
+	out, err := FaultyPageFractionCtx(context.Background(), seed, opts, rates, shape, ranks, devicesPerRank, years, channels)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return out
+}
+
+// FaultyPageFractionCtx is FaultyPageFraction under a context: a
+// cancelled context returns (nil, mc.ErrCanceled) within one shard
+// boundary instead of completing the fan-out.
+func FaultyPageFractionCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, shape faultmodel.ChannelShape,
+	ranks, devicesPerRank int, years, channels int) ([]float64, error) {
 	if years <= 0 || channels <= 0 {
 		panic("reliability: invalid years/channels")
 	}
-	acc := mc.Run(mc.Job{
+	acc, err := mc.RunCtx(ctx, mc.Job{
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
@@ -84,11 +97,14 @@ func FaultyPageFraction(seed int64, opts mc.Options, rates faultmodel.Rates, sha
 			}
 		},
 	}, opts)
+	if err != nil {
+		return nil, err
+	}
 	sums := acc.(*yearSums).sums
 	for i := range sums {
 		sums[i] /= float64(channels)
 	}
-	return sums
+	return sums, nil
 }
 
 // OverheadByType maps the large-span fault types to the overhead (power
@@ -106,10 +122,22 @@ type OverheadByType map[faultmodel.Type]float64
 // bit-identical at any parallelism for a given seed.
 func LifetimeOverhead(seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
 	years, channels int, overhead OverheadByType, cap float64) []float64 {
+	out, err := LifetimeOverheadCtx(context.Background(), seed, opts, rates, ranks, devicesPerRank, years, channels, overhead, cap)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return out
+}
+
+// LifetimeOverheadCtx is LifetimeOverhead under a context: a cancelled
+// context returns (nil, mc.ErrCanceled) within one shard boundary instead
+// of completing the fan-out.
+func LifetimeOverheadCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
+	years, channels int, overhead OverheadByType, cap float64) ([]float64, error) {
 	if years <= 0 || channels <= 0 || cap <= 0 {
 		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
 	}
-	acc := mc.Run(mc.Job{
+	acc, err := mc.RunCtx(ctx, mc.Job{
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
@@ -144,11 +172,14 @@ func LifetimeOverhead(seed int64, opts mc.Options, rates faultmodel.Rates, ranks
 			}
 		},
 	}, opts)
+	if err != nil {
+		return nil, err
+	}
 	sums := acc.(*yearSums).sums
 	for i := range sums {
 		sums[i] /= float64(channels)
 	}
-	return sums
+	return sums, nil
 }
 
 // WorstCaseOverheads derives the Fig 7.4/7.5 "worst case est." inputs from

@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -144,11 +145,21 @@ func (a *eventCount) Merge(other mc.Accumulator) { a.events += other.(*eventCoun
 // Channels are sharded across workers per opts with one RNG stream per
 // shard, so the count is reproducible at any parallelism.
 func SimulateARCCDED(seed int64, opts mc.Options, p Params, channels int) int {
+	n, err := SimulateARCCDEDCtx(context.Background(), seed, opts, p, channels)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return n
+}
+
+// SimulateARCCDEDCtx is SimulateARCCDED under a context: a cancelled
+// context returns (0, mc.ErrCanceled) within one shard boundary.
+func SimulateARCCDEDCtx(ctx context.Context, seed int64, opts mc.Options, p Params, channels int) (int, error) {
 	p.validate()
 	if channels <= 0 {
 		panic("reliability: non-positive channel count")
 	}
-	acc := mc.Run(mc.Job{
+	acc, err := mc.RunCtx(ctx, mc.Job{
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     func() mc.Accumulator { return &eventCount{} },
@@ -174,7 +185,10 @@ func SimulateARCCDED(seed int64, opts mc.Options, p Params, channels int) int {
 			}
 		},
 	}, opts)
-	return acc.(*eventCount).events
+	if err != nil {
+		return 0, err
+	}
+	return acc.(*eventCount).events, nil
 }
 
 // threatens checks the placement conditions (same rank unless a lane fault,
