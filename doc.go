@@ -23,6 +23,13 @@
 // (arcc-experiments -scenario). See DESIGN.md for the system inventory,
 // the engine's determinism contract, and the exhibit API.
 //
+// The exhibits are also servable: cmd/arcc-server runs a long-lived HTTP
+// sweep service (internal/server) that accepts exhibit and scenario jobs,
+// executes them on a bounded worker pool with live progress and one-shard
+// cancellation, deduplicates identical runs through a content-addressed
+// result cache, and streams reports in any registered format — a served
+// report is byte-identical to the CLI's output for the same parameters.
+//
 // The benchmarks in bench_test.go regenerate one table or figure each:
 //
 //	go test -bench=. -benchmem .

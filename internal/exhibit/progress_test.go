@@ -1,0 +1,42 @@
+package exhibit
+
+import "testing"
+
+func TestTrackerSnapshotAndCumulative(t *testing.T) {
+	var tr Tracker
+	if d, total := tr.Snapshot(); d != 0 || total != 0 {
+		t.Fatalf("fresh tracker snapshot %d/%d", d, total)
+	}
+	// Engine job 1: 100 trials in two ticks.
+	tr.Update(50, 100)
+	tr.Update(100, 100)
+	if d, total := tr.Snapshot(); d != 100 || total != 100 {
+		t.Fatalf("snapshot %d/%d, want 100/100", d, total)
+	}
+	if c := tr.CumulativeDone(); c != 100 {
+		t.Fatalf("cumulative %d, want 100", c)
+	}
+	// Job 2 with the same total: done falls back, cumulative keeps rising.
+	tr.Update(30, 100)
+	if d, total := tr.Snapshot(); d != 30 || total != 100 {
+		t.Fatalf("snapshot %d/%d, want 30/100", d, total)
+	}
+	if c := tr.CumulativeDone(); c != 130 {
+		t.Fatalf("cumulative %d, want 130", c)
+	}
+	// Job 3 with a new total resets the per-job baseline even though done
+	// jumped upward.
+	tr.Update(640, 1000)
+	if c := tr.CumulativeDone(); c != 770 {
+		t.Fatalf("cumulative %d, want 770", c)
+	}
+}
+
+func TestTrackerIsAProgress(t *testing.T) {
+	var tr Tracker
+	var p Progress = &tr
+	p.Update(7, 10)
+	if d, total := tr.Snapshot(); d != 7 || total != 10 {
+		t.Fatalf("snapshot %d/%d", d, total)
+	}
+}

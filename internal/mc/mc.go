@@ -287,10 +287,16 @@ func splitmix64(x uint64) uint64 {
 // NewProgressPrinter returns a Progress callback that writes a labelled
 // line to w at every completed 10% of a job. It may be shared across
 // consecutive jobs: a change of total, or done falling back, marks the
-// start of a new job and resets the ticks.
+// start of a new job and resets the ticks. A non-positive total is
+// ignored rather than divided by — progress of an empty job is
+// meaningless, and the printer sits on server paths where a panic would
+// kill the process.
 func NewProgressPrinter(w io.Writer, label string) func(done, total int) {
 	lastDone, lastTotal, lastDecile := -1, -1, -1
 	return func(done, total int) {
+		if total <= 0 {
+			return
+		}
 		if total != lastTotal || done <= lastDone {
 			lastDecile = -1
 		}

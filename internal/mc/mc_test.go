@@ -248,6 +248,24 @@ func TestNewProgressPrinterResetsPerJob(t *testing.T) {
 	}
 }
 
+// A non-positive total must be ignored, not divided by: the printer sits
+// on server paths where a panic would kill the process.
+func TestNewProgressPrinterIgnoresZeroTotal(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgressPrinter(&buf, "job")
+	p(0, 0)
+	p(5, 0)
+	p(1, -3)
+	if buf.Len() != 0 {
+		t.Fatalf("zero-total ticks printed: %q", buf.String())
+	}
+	// The printer still works for a real job afterwards.
+	p(100, 100)
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("printer broken after zero-total tick: %q", buf.String())
+	}
+}
+
 func TestRunPanicsOnBadJob(t *testing.T) {
 	for name, job := range map[string]Job{
 		"no trials": {Trials: 0, NewAcc: func() Accumulator { return &sumAcc{} }, Trial: func(*rand.Rand, int, Accumulator) {}},

@@ -1,0 +1,394 @@
+// Package server implements the ARCC sweep service: a long-running HTTP
+// front end over the exhibit registry. Clients submit exhibit or scenario
+// jobs (POST /v1/jobs), poll their status and progress (GET /v1/jobs/{id}),
+// stream the structured result in any registered format
+// (GET /v1/jobs/{id}/result), and cancel mid-run (DELETE /v1/jobs/{id} —
+// the engine's ErrCanceled plumbing stops within one shard).
+//
+// Jobs execute on a bounded worker pool; each worker runs one exhibit at
+// a time under the server's base context, reusing the internal/mc
+// sharding and pooled sim.Scratch machinery that already makes exhibit
+// runs allocation-free and bit-identical at any parallelism. Because
+// results depend only on (exhibit-or-scenario, seed, trials, quick) —
+// never on the worker count — completed reports are kept in a
+// content-addressed cache, and an identical resubmission is served
+// without re-running (only the report's Meta is restamped with the new
+// request's parameters).
+//
+// The package is panic-proof at its boundary: every request is validated
+// before it can reach a library panic path (unknown exhibits, invalid
+// scenarios, negative trial counts are HTTP 400), and both the HTTP
+// handlers and the job runner convert any residual panic into an error
+// response or a failed job instead of a dead process.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcc/internal/exhibit"
+	"arcc/internal/mc"
+)
+
+// Options tunes the service; the zero value is usable.
+type Options struct {
+	// Workers bounds how many jobs execute concurrently; <= 0 means
+	// GOMAXPROCS. Each job may itself fan out across Parallel engine
+	// workers, so a small pool with parallel jobs already saturates the
+	// machine.
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// <= 0 means DefaultQueueDepth. A full queue rejects submissions with
+	// 503 rather than queueing unboundedly.
+	QueueDepth int
+	// MaxTrials caps the per-job Monte Carlo channel override; <= 0 means
+	// DefaultMaxTrials. Requests above the cap are 400s.
+	MaxTrials int
+}
+
+// DefaultQueueDepth is the submission queue bound when Options.QueueDepth
+// is zero.
+const DefaultQueueDepth = 64
+
+// DefaultMaxTrials is the per-job trial cap when Options.MaxTrials is
+// zero: generous next to the paper's 10 000-channel sweeps, small enough
+// that one request cannot wedge a worker for hours.
+const DefaultMaxTrials = 1_000_000
+
+// MaxParallel caps the per-job engine worker override.
+const MaxParallel = 1024
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth <= 0 {
+		return DefaultQueueDepth
+	}
+	return o.QueueDepth
+}
+
+func (o Options) maxTrials() int {
+	if o.MaxTrials <= 0 {
+		return DefaultMaxTrials
+	}
+	return o.MaxTrials
+}
+
+// State is a job's lifecycle position. Transitions are
+// queued → running → {done, failed, canceled}, with queued → canceled
+// for jobs canceled before a worker picks them up; done/failed/canceled
+// are terminal.
+type State string
+
+// The job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// job is one submitted run and its outcome.
+type job struct {
+	id      string
+	key     string // content-addressed result identity
+	name    string // exhibit name, for status listings
+	format  string // default render format for /result
+	ex      exhibit.Exhibit
+	cfg     exhibit.Config
+	tracker *exhibit.Tracker
+	ctx     context.Context
+	cancel  context.CancelFunc
+	created time.Time
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	report   *exhibit.Report
+	cached   bool
+	started  time.Time
+	finished time.Time
+}
+
+// Server owns the job table, the result cache, and the worker pool. Create
+// one with New and serve its Handler; Shutdown drains it.
+type Server struct {
+	opts      Options
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	queue     chan *job
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job ids in submission order, for listings
+	cache  map[string]*exhibit.Report
+	closed bool
+	seq    uint64
+
+	jobsRun   atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// Metrics is a snapshot of the server's run counters. JobsRun counts
+// exhibits actually executed (cache hits do not run), CacheHits counts
+// submissions served from the result cache.
+type Metrics struct {
+	JobsRun   int64
+	CacheHits int64
+}
+
+// New starts a server with a running worker pool. Callers must Shutdown
+// it to release the workers.
+func New(opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *job, opts.queueDepth()),
+		jobs:      map[string]*job{},
+		cache:     map[string]*exhibit.Report{},
+	}
+	for i := 0; i < opts.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the current run counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{JobsRun: s.jobsRun.Load(), CacheHits: s.cacheHits.Load()}
+}
+
+// Shutdown stops accepting jobs and drains the pool: queued and running
+// jobs keep executing until they finish or ctx expires, at which point
+// every job context is canceled (the engine stops within one shard) and
+// the workers are awaited. It returns ctx.Err() when the deadline forced
+// the cancel, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// submission is a validated job request, ready to enqueue.
+type submission struct {
+	name   string
+	ex     exhibit.Exhibit
+	key    string
+	format string
+	seed   int64
+	trials int
+	par    int
+	quick  bool
+}
+
+// submit registers the submission as a job: served straight from the
+// result cache when an identical run already completed, enqueued for a
+// worker otherwise. It returns errServerClosed after Shutdown and
+// errQueueFull when the backlog bound is hit.
+func (s *Server) submit(sub submission) (*job, error) {
+	tracker := &exhibit.Tracker{}
+	cfg := exhibit.NewConfig(
+		exhibit.WithQuick(sub.quick),
+		exhibit.WithSeed(sub.seed),
+		exhibit.WithParallel(sub.par),
+		exhibit.WithTrials(sub.trials),
+		exhibit.WithProgress(tracker),
+	)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		key:     sub.key,
+		name:    sub.name,
+		format:  sub.format,
+		ex:      sub.ex,
+		cfg:     cfg,
+		tracker: tracker,
+		ctx:     ctx,
+		cancel:  cancel,
+		created: time.Now(),
+		state:   StateQueued,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, errServerClosed
+	}
+	s.seq++
+	j.id = fmt.Sprintf("job-%d", s.seq)
+	if cached, ok := s.cache[sub.key]; ok {
+		// The engine's contract makes the result a pure function of the
+		// cache key; only the report metadata (e.g. the Parallel knob)
+		// reflects this request, so restamp it on a shallow clone.
+		r := *cached
+		r.Meta = exhibit.MetaFor(cfg)
+		j.state = StateDone
+		j.report = &r
+		j.cached = true
+		j.started, j.finished = j.created, j.created
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		cancel()
+		return j, nil
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		cancel()
+		return nil, errQueueFull
+	}
+}
+
+var (
+	errServerClosed = errors.New("server is shutting down")
+	errQueueFull    = errors.New("job queue is full")
+)
+
+// lookup returns the job registered under id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// snapshotJobs returns all jobs in submission order.
+func (s *Server) snapshotJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job and records its outcome. Exhibit code runs
+// under a recover guard: a panic that slips past request validation fails
+// the job, never the process.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued || j.ctx.Err() != nil {
+		// Canceled (or shutdown-canceled) while waiting for a worker.
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = mc.ErrCanceled
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+		j.cancel()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	report, err := s.execute(j)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.report = report
+		s.mu.Lock()
+		if _, dup := s.cache[j.key]; !dup {
+			s.cache[j.key] = report
+		}
+		s.mu.Unlock()
+	case errors.Is(err, mc.ErrCanceled) || j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = mc.ErrCanceled
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (s *Server) execute(j *job) (report *exhibit.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exhibit %s panicked: %v", j.name, p)
+		}
+	}()
+	s.jobsRun.Add(1)
+	return j.ex.Run(j.ctx, j.cfg)
+}
+
+// cacheKey derives the content-addressed identity of a job's result: a
+// hash over everything the result depends on — the exhibit name or the
+// full effective scenario, the seed, the trial override, and the profile
+// — and nothing it does not (parallelism never changes a result, per the
+// engine contract, so jobs differing only in Parallel share an entry).
+func cacheKey(exhibitName string, sc *exhibit.Scenario, seed int64, trials int, quick bool) string {
+	k := struct {
+		Exhibit  string            `json:"exhibit,omitempty"`
+		Scenario *exhibit.Scenario `json:"scenario,omitempty"`
+		Seed     int64             `json:"seed"`
+		Trials   int               `json:"trials"`
+		Quick    bool              `json:"quick"`
+	}{exhibitName, sc, seed, trials, quick}
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Scenario and the scalar fields always marshal; reaching here is
+		// a programmer error in the key struct itself.
+		panic(fmt.Sprintf("server: cache key marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -22,6 +22,10 @@ type Replication struct {
 // fanned out across GOMAXPROCS workers; because each run is wholly
 // determined by its own seed, the aggregate is bit-identical to a serial
 // execution.
+//
+// A single replica is a legal request — its mean is the run itself and
+// the confidence half-widths are zero (one sample carries no spread
+// information). Only runs < 1 is a programmer error.
 func RunReplicated(cfg Config, runs int) Replication {
 	return RunReplicatedParallel(cfg, runs, 0)
 }
@@ -29,8 +33,8 @@ func RunReplicated(cfg Config, runs int) Replication {
 // RunReplicatedParallel is RunReplicated with an explicit worker count
 // (<= 0 means GOMAXPROCS; 1 runs the replicas serially in-line).
 func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
-	if runs < 2 {
-		panic(fmt.Sprintf("sim: RunReplicated needs at least 2 runs, got %d", runs))
+	if runs < 1 {
+		panic(fmt.Sprintf("sim: RunReplicated needs at least 1 run, got %d", runs))
 	}
 	// One replica per shard: a full simulator run is far too heavy to
 	// batch, and per-run seeding (not the shard stream) fixes each
@@ -54,11 +58,18 @@ func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 		ipcs[i] = r.ipc
 		powers[i] = r.power
 	}
-	return Replication{
+	// stats.StdDev (under CI95) needs two samples; a single replica has no
+	// spread to report, so its half-widths are zero rather than a panic —
+	// runs == 1 arrives from user input (an HTTP job, a CLI flag), not
+	// from a harness bug.
+	rep := Replication{
 		Runs:      runs,
 		IPCMean:   stats.Mean(ipcs),
-		IPCCI95:   stats.CI95(ipcs),
 		PowerMean: stats.Mean(powers),
-		PowerCI95: stats.CI95(powers),
 	}
+	if runs >= 2 {
+		rep.IPCCI95 = stats.CI95(ipcs)
+		rep.PowerCI95 = stats.CI95(powers)
+	}
+	return rep
 }

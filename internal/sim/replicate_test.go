@@ -42,7 +42,33 @@ func TestRunReplicatedPanicsOnTooFewRuns(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	RunReplicated(DefaultConfig(workload.Mixes()[0], ARCC), 1)
+	RunReplicated(DefaultConfig(workload.Mixes()[0], ARCC), 0)
+}
+
+// A single replica is user input (an HTTP job, a CLI flag), not a harness
+// bug: it must report the run itself with zero confidence half-widths,
+// never panic (stats.StdDev under CI95 needs two samples).
+func TestRunReplicatedSingleRun(t *testing.T) {
+	cfg := shortConfig(0, ARCC)
+	r := RunReplicated(cfg, 1)
+	if r.Runs != 1 {
+		t.Fatalf("runs %d", r.Runs)
+	}
+	if r.IPCMean <= 0 || r.PowerMean <= 0 {
+		t.Fatal("means must be positive")
+	}
+	if r.IPCCI95 != 0 || r.PowerCI95 != 0 {
+		t.Fatalf("one sample has no spread: CI95 %v/%v, want 0/0", r.IPCCI95, r.PowerCI95)
+	}
+	// The single replica must be the same run a 2-replica aggregate
+	// starts from: seed cfg.Seed+1.
+	solo := cfg
+	solo.Seed = cfg.Seed + 1
+	want := Run(solo)
+	if r.IPCMean != want.IPCSum || r.PowerMean != want.PowerMW {
+		t.Fatalf("single-run mean %v/%v, want the seed+1 run %v/%v",
+			r.IPCMean, r.PowerMean, want.IPCSum, want.PowerMW)
+	}
 }
 
 func TestReplaySourceReproducesStreamRun(t *testing.T) {

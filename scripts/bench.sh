@@ -4,15 +4,18 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Writes one JSON array (default BENCH_PR3.json) with an object per
-# benchmark — {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} —
-# plus the raw `go test -bench` text alongside it (same path, .txt). CI
-# uploads both so every PR leaves a comparable perf trajectory; compare two
-# checkouts by diffing the JSON.
+# Writes one JSON array with an object per benchmark — {name, iterations,
+# ns_per_op, bytes_per_op, allocs_per_op} — plus the raw `go test -bench`
+# text alongside it (same path, .txt). The output name comes from the
+# first argument, then $BENCH_OUT, then BENCH_dev.json: the trajectory
+# points checked in per PR are named BENCH_PR<N>.json (CI passes the PR
+# number), and the default deliberately never collides with them so a
+# bare local run cannot overwrite a recorded point. Compare two checkouts
+# by diffing the JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-${BENCH_OUT:-BENCH_dev.json}}"
 raw="${out%.json}.txt"
 : >"$raw"
 

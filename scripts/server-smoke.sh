@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# server-smoke.sh — end-to-end smoke test of the arcc-server sweep service.
+#
+# Builds cmd/arcc-server, starts it on a local port, submits the
+# checked-in example scenario (examples/custom-scenario/scenario.json) as
+# a quick-mode job over HTTP, polls the job until its result endpoint
+# returns 200, and sanity-checks the JSON report. Exits nonzero on any
+# failure; CI runs it after the unit tests so the served path — submit,
+# status, result — stays demonstrably alive.
+#
+# Usage: scripts/server-smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-8841}"
+base="http://127.0.0.1:${port}/v1"
+bin="$(mktemp -d)/arcc-server"
+
+go build -o "$bin" ./cmd/arcc-server
+"$bin" -addr "127.0.0.1:${port}" -workers 2 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+# Wait for the server to come up.
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null || { echo "server never became healthy"; exit 1; }
+
+# The registry listing must expose the paper's exhibits.
+curl -fsS "$base/exhibits" | grep -q '"f3.1"' || { echo "registry listing missing f3.1"; exit 1; }
+
+# Submit the example scenario in quick mode. The scenario file is a JSON
+# object, so it embeds verbatim into the job request.
+payload=$(printf '{"scenario": %s, "quick": true, "trials": 200, "format": "json"}' \
+    "$(cat examples/custom-scenario/scenario.json)")
+submit=$(curl -fsS -X POST -d "$payload" "$base/jobs")
+id=$(printf '%s' "$submit" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "no job id in submit response: $submit"; exit 1; }
+echo "submitted job $id"
+
+# Poll the result until the job completes (202 while queued/running).
+result="$(mktemp)"
+code=""
+for _ in $(seq 1 300); do
+    code=$(curl -sS -o "$result" -w '%{http_code}' "$base/jobs/$id/result")
+    case "$code" in
+        200) break ;;
+        202) sleep 0.5 ;;
+        *) echo "job $id failed with HTTP $code:"; cat "$result"; exit 1 ;;
+    esac
+done
+[ "$code" = 200 ] || { echo "job $id never completed (last HTTP $code)"; exit 1; }
+
+# The report must be the scenario's structured JSON.
+grep -q '"exhibit": "dense-server"' "$result" || { echo "unexpected report:"; head "$result"; exit 1; }
+
+# An identical resubmission must be served from the result cache.
+resubmit=$(curl -fsS -X POST -d "$payload" "$base/jobs")
+printf '%s' "$resubmit" | grep -q '"cached": true' || { echo "duplicate job not cached: $resubmit"; exit 1; }
+
+# A bad request must be a 400, not a dead server.
+bad=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d '{"exhibit": "nope"}' "$base/jobs")
+[ "$bad" = 400 ] || { echo "invalid job returned HTTP $bad, want 400"; exit 1; }
+curl -fsS "$base/healthz" >/dev/null || { echo "server died after bad request"; exit 1; }
+
+echo "server smoke OK"
