@@ -8,7 +8,7 @@
 // Usage:
 //
 //	arcc-server [-addr :8080] [-workers N] [-queue N] [-max-trials N]
-//	            [-drain dur]
+//	            [-max-cache N] [-max-jobs N] [-drain dur]
 //
 // API:
 //
@@ -42,9 +42,12 @@
 // A request that could reach a library panic path — an unknown exhibit,
 // an invalid scenario, a negative or oversized trial count, a bad format
 // — is rejected with HTTP 400 at the boundary, and residual panics in
-// handlers or jobs become error responses, never a process exit. On
-// SIGINT/SIGTERM the server stops accepting work and drains in-flight
-// jobs for -drain before canceling them.
+// handlers or jobs become error responses, never a process exit. Memory
+// stays bounded over a long run: at most -max-cache reports are cached
+// (oldest evicted) and at most -max-jobs finished jobs stay listed
+// (oldest forgotten; their ids then answer 404). On SIGINT/SIGTERM the
+// server stops accepting work and drains in-flight jobs for -drain
+// before canceling them.
 package main
 
 import (
@@ -74,10 +77,18 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = all CPUs)")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "max queued jobs before submissions get 503")
 	maxTrials := flag.Int("max-trials", server.DefaultMaxTrials, "per-job Monte Carlo trial cap")
+	maxCache := flag.Int("max-cache", server.DefaultMaxCachedResults, "result-cache bound (oldest entries evicted)")
+	maxJobs := flag.Int("max-jobs", server.DefaultMaxFinishedJobs, "finished jobs retained before the oldest are forgotten")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 	flag.Parse()
 
-	svc := server.New(server.Options{Workers: *workers, QueueDepth: *queue, MaxTrials: *maxTrials})
+	svc := server.New(server.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxTrials:        *maxTrials,
+		MaxCachedResults: *maxCache,
+		MaxFinishedJobs:  *maxJobs,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

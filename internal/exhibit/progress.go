@@ -21,9 +21,11 @@ type Tracker struct {
 func (t *Tracker) Update(done, total int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	// A total change or done falling back marks the start of a new engine
-	// job within the same exhibit; only the fresh trials advance the
-	// cumulative count.
+	// The engine opens every job with an explicit Update(0, total), so a
+	// total change or done falling back (to 0, or below the previous
+	// job's final count) always marks a job boundary — including a new
+	// job with the same total as the last one. Only the fresh trials
+	// advance the cumulative count.
 	if total != t.total || done < t.lastDone {
 		t.lastDone = 0
 	}

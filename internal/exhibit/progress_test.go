@@ -32,6 +32,27 @@ func TestTrackerSnapshotAndCumulative(t *testing.T) {
 	}
 }
 
+// Two consecutive engine jobs with the same total, where the second
+// completes in a single tick equal to the first job's final count, are
+// indistinguishable by count heuristics alone. The engine's explicit
+// Update(0, total) job-start signal is what marks the boundary; without
+// it the second job would add zero to the cumulative count.
+func TestTrackerCountsSameSizedBackToBackJobs(t *testing.T) {
+	var tr Tracker
+	// Job 1: the engine opens with (0, total), then one tick to done.
+	tr.Update(0, 100)
+	tr.Update(100, 100)
+	// Job 2: same total, single tick equal to job 1's final done.
+	tr.Update(0, 100)
+	tr.Update(100, 100)
+	if c := tr.CumulativeDone(); c != 200 {
+		t.Fatalf("cumulative %d after two 100-trial jobs, want 200", c)
+	}
+	if d, total := tr.Snapshot(); d != 100 || total != 100 {
+		t.Fatalf("snapshot %d/%d, want 100/100", d, total)
+	}
+}
+
 func TestTrackerIsAProgress(t *testing.T) {
 	var tr Tracker
 	var p Progress = &tr

@@ -92,9 +92,12 @@ type Options struct {
 	// across runs that use the same shard size. Callers whose trials are
 	// individually expensive (whole simulator runs) should set 1.
 	ShardSize int
-	// Progress, when non-nil, is called after each shard completes with
-	// the number of trials finished so far and the total. Calls are
-	// serialised by the engine; done is non-decreasing across calls.
+	// Progress, when non-nil, is called with (0, total) when the job
+	// starts — an explicit job-start signal, so a sink shared across
+	// consecutive jobs need not infer boundaries from count heuristics —
+	// and then after each shard completes with the number of trials
+	// finished so far and the total. Calls are serialised by the engine;
+	// done is non-decreasing across the calls of one job.
 	Progress func(done, total int)
 }
 
@@ -147,6 +150,12 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 	}
 	size := opts.shardSize()
 	shards := (job.Trials + size - 1) / size
+	if opts.Progress != nil {
+		// Explicit job-start signal (see Options.Progress): emitted before
+		// any worker goroutine exists, so it is ordered before every
+		// per-shard call.
+		opts.Progress(0, job.Trials)
+	}
 	accs := make([]Accumulator, shards)
 
 	newScratch := func() any {

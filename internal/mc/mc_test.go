@@ -99,6 +99,9 @@ func TestProgressMonotoneAndComplete(t *testing.T) {
 		opts := Options{Parallelism: par, ShardSize: 10, Progress: func(done, total int) {
 			mu.Lock()
 			defer mu.Unlock()
+			if calls == 0 && done != 0 {
+				t.Errorf("par %d: first progress call %d/%d, want the 0/%d job-start signal", par, done, total, total)
+			}
 			if done < last || done > total {
 				t.Errorf("par %d: progress went %d -> %d of %d", par, last, done, total)
 			}
@@ -106,8 +109,9 @@ func TestProgressMonotoneAndComplete(t *testing.T) {
 			calls++
 		}}
 		Run(sumJob(95, 7), opts)
-		if last != 95 || calls != 10 {
-			t.Fatalf("par %d: final progress %d after %d calls, want 95 after 10", par, last, calls)
+		// 1 job-start signal + 10 per-shard calls.
+		if last != 95 || calls != 11 {
+			t.Fatalf("par %d: final progress %d after %d calls, want 95 after 11", par, last, calls)
 		}
 	}
 }

@@ -52,6 +52,17 @@ type Options struct {
 	// MaxTrials caps the per-job Monte Carlo channel override; <= 0 means
 	// DefaultMaxTrials. Requests above the cap are 400s.
 	MaxTrials int
+	// MaxCachedResults bounds the content-addressed result cache; <= 0
+	// means DefaultMaxCachedResults. When the bound is hit the oldest
+	// entry is evicted (FIFO), so a long-running service does not retain
+	// every report it ever produced.
+	MaxCachedResults int
+	// MaxFinishedJobs bounds how many terminal (done/failed/canceled)
+	// jobs stay in the job table; <= 0 means DefaultMaxFinishedJobs.
+	// When a new submission pushes the count over the bound, the oldest
+	// terminal jobs are forgotten: they disappear from listings and their
+	// ids answer 404. Queued and running jobs are never pruned.
+	MaxFinishedJobs int
 }
 
 // DefaultQueueDepth is the submission queue bound when Options.QueueDepth
@@ -62,6 +73,14 @@ const DefaultQueueDepth = 64
 // zero: generous next to the paper's 10 000-channel sweeps, small enough
 // that one request cannot wedge a worker for hours.
 const DefaultMaxTrials = 1_000_000
+
+// DefaultMaxCachedResults is the result-cache bound when
+// Options.MaxCachedResults is zero.
+const DefaultMaxCachedResults = 256
+
+// DefaultMaxFinishedJobs is the terminal-job retention bound when
+// Options.MaxFinishedJobs is zero.
+const DefaultMaxFinishedJobs = 1024
 
 // MaxParallel caps the per-job engine worker override.
 const MaxParallel = 1024
@@ -85,6 +104,20 @@ func (o Options) maxTrials() int {
 		return DefaultMaxTrials
 	}
 	return o.MaxTrials
+}
+
+func (o Options) maxCachedResults() int {
+	if o.MaxCachedResults <= 0 {
+		return DefaultMaxCachedResults
+	}
+	return o.MaxCachedResults
+}
+
+func (o Options) maxFinishedJobs() int {
+	if o.MaxFinishedJobs <= 0 {
+		return DefaultMaxFinishedJobs
+	}
+	return o.MaxFinishedJobs
 }
 
 // State is a job's lifecycle position. Transitions are
@@ -133,12 +166,13 @@ type Server struct {
 	queue     chan *job
 	wg        sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // job ids in submission order, for listings
-	cache  map[string]*exhibit.Report
-	closed bool
-	seq    uint64
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string // job ids in submission order, for listings
+	cache      map[string]*exhibit.Report
+	cacheOrder []string // cache keys in insertion order, for FIFO eviction
+	closed     bool
+	seq        uint64
 
 	jobsRun   atomic.Int64
 	cacheHits atomic.Int64
@@ -187,6 +221,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 	if !already {
+		// Safe with respect to submit: every send on s.queue happens under
+		// s.mu after observing closed == false, and closed was just set
+		// under the same lock — so no send can follow this close.
 		close(s.queue)
 	}
 	drained := make(chan struct{})
@@ -263,22 +300,26 @@ func (s *Server) submit(sub submission) (*job, error) {
 		j.started, j.finished = j.created, j.created
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		s.pruneJobsLocked()
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
 		cancel()
 		return j, nil
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.mu.Unlock()
-
+	// The enqueue attempt happens under s.mu, for two reasons. First, it
+	// makes the closed-check and the send atomic with respect to Shutdown,
+	// which sets closed under the same lock before closing the queue — so
+	// no send can race the close. Second, a rejected job is simply never
+	// registered, so there is no rollback to race with a concurrent
+	// submission appending its own id to s.order.
 	select {
 	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.pruneJobsLocked()
+		s.mu.Unlock()
 		return j, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
 		cancel()
 		return nil, errQueueFull
@@ -289,6 +330,64 @@ var (
 	errServerClosed = errors.New("server is shutting down")
 	errQueueFull    = errors.New("job queue is full")
 )
+
+// storeResult inserts a completed report into the result cache, evicting
+// the oldest entries (FIFO) past the retention bound.
+func (s *Server) storeResult(key string, report *exhibit.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.cache[key]; dup {
+		return
+	}
+	s.cache[key] = report
+	s.cacheOrder = append(s.cacheOrder, key)
+	for len(s.cache) > s.opts.maxCachedResults() {
+		delete(s.cache, s.cacheOrder[0])
+		s.cacheOrder = s.cacheOrder[1:]
+	}
+}
+
+// pruneJobsLocked forgets the oldest terminal jobs past the retention
+// bound, so the job table does not grow without bound in a long-running
+// service. Queued and running jobs are never pruned. Callers hold s.mu;
+// the per-job state reads take j.mu, so the lock order is always
+// s.mu → j.mu (runJob publishes results without holding j.mu across the
+// cache write for exactly this reason).
+func (s *Server) pruneJobsLocked() {
+	var terminal []string
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	evict := len(terminal) - s.opts.maxFinishedJobs()
+	if evict <= 0 {
+		return
+	}
+	drop := make(map[string]bool, evict)
+	for _, id := range terminal[:evict] {
+		drop[id] = true
+		delete(s.jobs, id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !drop[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// terminal reports whether the job reached a terminal state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
 
 // lookup returns the job registered under id.
 func (s *Server) lookup(id string) (*job, bool) {
@@ -344,11 +443,6 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.state = StateDone
 		j.report = report
-		s.mu.Lock()
-		if _, dup := s.cache[j.key]; !dup {
-			s.cache[j.key] = report
-		}
-		s.mu.Unlock()
 	case errors.Is(err, mc.ErrCanceled) || j.ctx.Err() != nil:
 		j.state = StateCanceled
 		j.err = mc.ErrCanceled
@@ -357,6 +451,12 @@ func (s *Server) runJob(j *job) {
 		j.err = err
 	}
 	j.mu.Unlock()
+	if err == nil {
+		// Published after j.mu is released: the cache write takes s.mu, and
+		// the prune path nests j.mu inside s.mu, so holding j.mu here would
+		// invert the lock order.
+		s.storeResult(j.key, report)
+	}
 	j.cancel()
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -460,6 +461,27 @@ func TestQueueBoundRejectsOverload(t *testing.T) {
 		t.Fatalf("overflow submit: HTTP %d, want 503", code2)
 	}
 
+	// A rejected submission must leave the job table consistent: the
+	// listing holds exactly the two registered jobs, and every row's
+	// status endpoint answers (a dangling id would 500 here).
+	lcode, lbody := get(t, ts.URL+"/v1/jobs")
+	if lcode != http.StatusOK {
+		t.Fatalf("list after overflow: HTTP %d: %s", lcode, lbody)
+	}
+	var listed []server.JobStatus
+	if err := json.Unmarshal(lbody, &listed); err != nil {
+		t.Fatalf("list body: %v", err)
+	}
+	if len(listed) != 2 {
+		t.Fatalf("listing has %d jobs after a rejected submit, want 2: %s", len(listed), lbody)
+	}
+	for _, row := range listed {
+		if row.ID != running.ID && row.ID != queued.ID {
+			t.Fatalf("listing contains unexpected job %q", row.ID)
+		}
+		getStatus(t, ts, row.ID)
+	}
+
 	// Canceling the queued job must settle it without a worker.
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
@@ -478,4 +500,126 @@ func TestQueueBoundRejectsOverload(t *testing.T) {
 	}
 	resp.Body.Close()
 	_ = svc
+}
+
+// Concurrent submissions against a full queue must never corrupt the job
+// table: whatever mix of acceptances and 503s comes back, every listed
+// job keeps answering its status endpoint. This is a regression test for
+// a rollback race that left a dangling id in the listing order.
+func TestConcurrentOverflowKeepsListingsConsistent(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{Workers: 1, QueueDepth: 1})
+
+	_, running := post(t, ts, fmt.Sprintf(`{"scenario": %s}`, bigScenario))
+	waitState(t, ts, running.ID, server.StateRunning)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"scenario": %s, "seed": %d}`, bigScenario, seed+2)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("concurrent POST: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("concurrent POST: HTTP %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	lcode, lbody := get(t, ts.URL+"/v1/jobs")
+	if lcode != http.StatusOK {
+		t.Fatalf("list after concurrent overflow: HTTP %d: %s", lcode, lbody)
+	}
+	var listed []server.JobStatus
+	if err := json.Unmarshal(lbody, &listed); err != nil {
+		t.Fatalf("list body: %v", err)
+	}
+	// The running job plus at most one queued job survived the stampede.
+	if len(listed) < 1 || len(listed) > 2 {
+		t.Fatalf("listing has %d jobs, want 1 or 2: %s", len(listed), lbody)
+	}
+	for _, row := range listed {
+		getStatus(t, ts, row.ID)
+		// Cancel everything so the cleanup shutdown drains quickly.
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+row.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{Workers: 1})
+	big := `{"exhibit": "` + strings.Repeat("a", 1<<20) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST oversized body: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("413 body: %v", err)
+	}
+	if !strings.Contains(e.Error, "byte limit") {
+		t.Fatalf("413 message %q does not name the limit", e.Error)
+	}
+}
+
+func TestRetentionBoundsJobsAndCache(t *testing.T) {
+	svc, ts := newTestServer(t, server.Options{Workers: 1, MaxFinishedJobs: 1, MaxCachedResults: 1})
+
+	submit := func(seed int) server.JobStatus {
+		t.Helper()
+		code, st := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": %d}`, tinyScenario, seed))
+		if code != http.StatusAccepted && code != http.StatusCreated {
+			t.Fatalf("submit seed %d: HTTP %d", seed, code)
+		}
+		waitState(t, ts, st.ID, server.StateDone)
+		return st
+	}
+	first := submit(1)
+	second := submit(2)
+	// Registering a third job prunes terminal jobs past the bound of one:
+	// the first (oldest terminal) is forgotten, the second survives.
+	third := submit(3)
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+first.ID); code != http.StatusNotFound {
+		t.Fatalf("pruned job %s: HTTP %d, want 404", first.ID, code)
+	}
+	getStatus(t, ts, third.ID)
+	_, lbody := get(t, ts.URL+"/v1/jobs")
+	var listed []server.JobStatus
+	if err := json.Unmarshal(lbody, &listed); err != nil {
+		t.Fatalf("list body: %v", err)
+	}
+	for _, row := range listed {
+		if row.ID == first.ID {
+			t.Fatalf("pruned job %s still listed: %s", first.ID, lbody)
+		}
+	}
+	_ = second
+
+	// The result cache holds one entry (FIFO): by now only seed 3 can be
+	// cached, so resubmitting seed 1 must run again, not hit the cache.
+	runsBefore := svc.Metrics().JobsRun
+	submit(1)
+	m := svc.Metrics()
+	if m.JobsRun != runsBefore+1 {
+		t.Fatalf("evicted entry served from cache: %+v (runs before %d)", m, runsBefore)
+	}
+	if m.CacheHits != 0 {
+		t.Fatalf("unexpected cache hits under eviction: %+v", m)
+	}
 }
