@@ -8,7 +8,9 @@
 // Usage:
 //
 //	arcc-server [-addr :8080] [-workers N] [-queue N] [-max-trials N]
-//	            [-max-cache N] [-max-jobs N] [-drain dur]
+//	            [-max-cache N] [-max-jobs N] [-max-job-seconds N]
+//	            [-drain dur] [-state-dir dir] [-checkpoint-shards N]
+//	            [-checkpoint-seconds N]
 //
 // API:
 //
@@ -45,9 +47,20 @@
 // handlers or jobs become error responses, never a process exit. Memory
 // stays bounded over a long run: at most -max-cache reports are cached
 // (oldest evicted) and at most -max-jobs finished jobs stay listed
-// (oldest forgotten; their ids then answer 404). On SIGINT/SIGTERM the
-// server stops accepting work and drains in-flight jobs for -drain
-// before canceling them.
+// (oldest forgotten; their ids then answer 404). -max-job-seconds bounds
+// one job's wall clock (a sweep that outlives it is canceled and marked
+// failed). On SIGINT/SIGTERM the server stops accepting work and drains
+// in-flight jobs for -drain before canceling them.
+//
+// With -state-dir the service is durable: accepted jobs land in an
+// append-only fsync'd journal, completed reports persist as
+// content-addressed files, and running jobs checkpoint their completed
+// Monte Carlo shards every -checkpoint-shards shards or
+// -checkpoint-seconds seconds. After a crash (even kill -9) or a drain
+// timeout, the next start replays the journal, restores the result
+// cache, and re-enqueues interrupted jobs from their latest checkpoint;
+// because the engine merges shards deterministically, the resumed
+// report is byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -79,16 +92,27 @@ func run() error {
 	maxTrials := flag.Int("max-trials", server.DefaultMaxTrials, "per-job Monte Carlo trial cap")
 	maxCache := flag.Int("max-cache", server.DefaultMaxCachedResults, "result-cache bound (oldest entries evicted)")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxFinishedJobs, "finished jobs retained before the oldest are forgotten")
+	maxJobSeconds := flag.Int("max-job-seconds", 0, "per-job wall-clock cap in seconds (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
+	stateDir := flag.String("state-dir", "", "directory for durable state (journal, results, checkpoints); empty = in-memory only")
+	ckShards := flag.Int("checkpoint-shards", server.DefaultCheckpointEveryShards, "checkpoint a running job every N completed shards (needs -state-dir)")
+	ckSeconds := flag.Int("checkpoint-seconds", int(server.DefaultCheckpointPeriod/time.Second), "also checkpoint every N seconds (needs -state-dir)")
 	flag.Parse()
 
-	svc := server.New(server.Options{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		MaxTrials:        *maxTrials,
-		MaxCachedResults: *maxCache,
-		MaxFinishedJobs:  *maxJobs,
+	svc, err := server.New(server.Options{
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		MaxTrials:             *maxTrials,
+		MaxCachedResults:      *maxCache,
+		MaxFinishedJobs:       *maxJobs,
+		MaxJobDuration:        time.Duration(*maxJobSeconds) * time.Second,
+		StateDir:              *stateDir,
+		CheckpointEveryShards: *ckShards,
+		CheckpointPeriod:      time.Duration(*ckSeconds) * time.Second,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,57 @@
+package exhibit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// encodedReport is the durable form of a Report. Data is stored as the
+// compact JSON of the typed result struct: json.Encoder re-indents a
+// RawMessage exactly as it would the original value (same field order,
+// same escaping, shortest-round-trip floats), so a decoded report's JSON
+// rendering is byte-identical to the live one's. Text is captured by
+// running the closure once at encode time.
+type encodedReport struct {
+	Exhibit string          `json:"exhibit"`
+	Title   string          `json:"title"`
+	Meta    Meta            `json:"meta"`
+	Data    json.RawMessage `json:"data"`
+	Tables  []Table         `json:"tables,omitempty"`
+	Text    *string         `json:"text,omitempty"`
+}
+
+// EncodeReport serializes a report for persistence (the sweep service's
+// crash-safe result store). DecodeReport inverts it; the decoded report
+// renders byte-identically to the original in every format.
+func EncodeReport(r *Report) ([]byte, error) {
+	data, err := json.Marshal(r.Data)
+	if err != nil {
+		return nil, fmt.Errorf("exhibit: encode %q data: %w", r.Exhibit, err)
+	}
+	enc := encodedReport{Exhibit: r.Exhibit, Title: r.Title, Meta: r.Meta, Data: data, Tables: r.Tables}
+	if r.Text != nil {
+		var buf bytes.Buffer
+		r.Text(&buf)
+		s := buf.String()
+		enc.Text = &s
+	}
+	return json.Marshal(enc)
+}
+
+// DecodeReport reconstructs a report persisted by EncodeReport. Its Data
+// is a json.RawMessage rather than the original typed struct, which the
+// renderers cannot tell apart.
+func DecodeReport(b []byte) (*Report, error) {
+	var enc encodedReport
+	if err := json.Unmarshal(b, &enc); err != nil {
+		return nil, fmt.Errorf("exhibit: decode report: %w", err)
+	}
+	r := &Report{Exhibit: enc.Exhibit, Title: enc.Title, Meta: enc.Meta, Data: enc.Data, Tables: enc.Tables}
+	if enc.Text != nil {
+		text := *enc.Text
+		r.Text = func(w io.Writer) { io.WriteString(w, text) }
+	}
+	return r, nil
+}

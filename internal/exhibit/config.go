@@ -37,6 +37,11 @@ type Config struct {
 	// Progress, when non-nil, receives completion counts as the
 	// exhibit's Monte Carlo trials or simulator runs finish.
 	Progress Progress
+	// Resume, when non-nil, threads shard-level checkpoint/resume through
+	// every engine job the exhibit runs (see mc.Resumer). Like Parallel it
+	// cannot change the numbers: a resumed run is bit-identical to an
+	// uninterrupted one.
+	Resume *mc.Resumer
 }
 
 // Option mutates a Config under construction.
@@ -66,6 +71,9 @@ func WithTrials(trials int) Option { return func(c *Config) { c.Trials = trials 
 // WithProgress installs a progress sink.
 func WithProgress(p Progress) Option { return func(c *Config) { c.Progress = p } }
 
+// WithResume installs a checkpoint/resume coordinator.
+func WithResume(r *mc.Resumer) Option { return func(c *Config) { c.Resume = r } }
+
 // SeedOrDefault returns the effective root seed: Seed, or 1 when unset.
 func (c Config) SeedOrDefault() int64 {
 	if c.Seed == 0 {
@@ -77,13 +85,13 @@ func (c Config) SeedOrDefault() int64 {
 // MCOptions returns the engine options for channel-sharded Monte Carlo
 // jobs (default shard size).
 func (c Config) MCOptions() mc.Options {
-	return mc.Options{Parallelism: c.Parallel, Progress: c.progressFunc()}
+	return mc.Options{Parallelism: c.Parallel, Progress: c.progressFunc(), Checkpoint: c.jobCheckpoint()}
 }
 
 // SimOptions returns the engine options for fan-outs whose trials are
 // whole simulator runs: one run per shard.
 func (c Config) SimOptions() mc.Options {
-	return mc.Options{Parallelism: c.Parallel, ShardSize: 1, Progress: c.progressFunc()}
+	return mc.Options{Parallelism: c.Parallel, ShardSize: 1, Progress: c.progressFunc(), Checkpoint: c.jobCheckpoint()}
 }
 
 func (c Config) progressFunc() func(done, total int) {
@@ -91,4 +99,15 @@ func (c Config) progressFunc() func(done, total int) {
 		return nil
 	}
 	return c.Progress.Update
+}
+
+// jobCheckpoint assigns the next engine-job sequence index of the Resume
+// coordinator; exhibits call MCOptions/SimOptions once per engine job in
+// deterministic order, so the indices of a resumed run line up with the
+// interrupted one's.
+func (c Config) jobCheckpoint() *mc.CheckpointConfig {
+	if c.Resume == nil {
+		return nil
+	}
+	return c.Resume.JobCheckpoint()
 }

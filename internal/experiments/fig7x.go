@@ -51,12 +51,13 @@ type Fig71Result struct {
 func Fig71(ctx context.Context, cfg exhibit.Config) (Fig71Result, error) {
 	var res Fig71Result
 	mixes := workload.Mixes()
-	type pair struct{ base, arcc sim.Result }
+	// Exported fields: the pair must gob-encode for shard checkpointing.
+	type pair struct{ Base, Arcc sim.Result }
 	pairs, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, s *sim.Scratch) pair {
 			return pair{
-				base: runMix(mixes[i], sim.Baseline, 0, cfg, s),
-				arcc: runMix(mixes[i], sim.ARCC, 0, cfg, s),
+				Base: runMix(mixes[i], sim.Baseline, 0, cfg, s),
+				Arcc: runMix(mixes[i], sim.ARCC, 0, cfg, s),
 			}
 		})
 	if err != nil {
@@ -64,8 +65,8 @@ func Fig71(ctx context.Context, cfg exhibit.Config) (Fig71Result, error) {
 	}
 	for i, mix := range mixes {
 		res.Mixes = append(res.Mixes, mix.Name)
-		res.PowerReduction = append(res.PowerReduction, 1-pairs[i].arcc.PowerMW/pairs[i].base.PowerMW)
-		res.IPCGain = append(res.IPCGain, pairs[i].arcc.IPCSum/pairs[i].base.IPCSum-1)
+		res.PowerReduction = append(res.PowerReduction, 1-pairs[i].Arcc.PowerMW/pairs[i].Base.PowerMW)
+		res.IPCGain = append(res.IPCGain, pairs[i].Arcc.IPCSum/pairs[i].Base.IPCSum-1)
 	}
 	res.AvgPowerReduction = stats.Mean(res.PowerReduction)
 	res.AvgIPCGain = stats.Mean(res.IPCGain)

@@ -154,7 +154,8 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 	}
 	// Per mix: a fault-free reference run and the scenario run, fanned
 	// out across the engine's workers (one simulator run per shard).
-	type pair struct{ clean, faulted sim.Result }
+	// Exported fields: the pair must gob-encode for shard checkpointing.
+	type pair struct{ Clean, Faulted sim.Result }
 	pairs, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, scratch *sim.Scratch) pair {
 			run := func(upgraded float64) sim.Result {
@@ -164,17 +165,17 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 				c.Seed = cfg.SeedOrDefault()
 				return sim.RunWith(c, scratch)
 			}
-			return pair{clean: run(0), faulted: run(s.UpgradedFraction)}
+			return pair{Clean: run(0), Faulted: run(s.UpgradedFraction)}
 		})
 	if err != nil {
 		return ScenarioResult{}, err
 	}
 	for i, m := range mixes {
 		res.Mixes = append(res.Mixes, m.Name)
-		res.IPC = append(res.IPC, pairs[i].faulted.IPCSum)
-		res.PowerMW = append(res.PowerMW, pairs[i].faulted.PowerMW)
-		res.IPCVsClean = append(res.IPCVsClean, pairs[i].faulted.IPCSum/pairs[i].clean.IPCSum)
-		res.PowerVsClean = append(res.PowerVsClean, pairs[i].faulted.PowerMW/pairs[i].clean.PowerMW)
+		res.IPC = append(res.IPC, pairs[i].Faulted.IPCSum)
+		res.PowerMW = append(res.PowerMW, pairs[i].Faulted.PowerMW)
+		res.IPCVsClean = append(res.IPCVsClean, pairs[i].Faulted.IPCSum/pairs[i].Clean.IPCSum)
+		res.PowerVsClean = append(res.PowerVsClean, pairs[i].Faulted.PowerMW/pairs[i].Clean.PowerMW)
 	}
 	return res, nil
 }

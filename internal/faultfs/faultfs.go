@@ -1,0 +1,247 @@
+// Package faultfs is the filesystem seam of the sweep service's durable
+// store, plus a fault-injecting wrapper for tests. The server writes its
+// journal, result files, and checkpoints through the FS interface; OS()
+// is the real thing, and Faulty decorates any FS with programmable
+// write/sync/rename failures and torn (partial) writes, so recovery
+// paths can be exercised deterministically under the race detector
+// instead of hoping a crash lands in the right window.
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// File is the writable-file surface the store needs: sequential writes,
+// a durability barrier, close.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of filesystem operations the durable store
+// performs. Every mutation the store makes goes through here, so a
+// Faulty wrapper sees — and can break — each one.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Create truncates/creates path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+// Op names one FS operation for fault matching.
+type Op string
+
+// The operations a Rule can target.
+const (
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+	OpCreate Op = "create"
+	OpAppend Op = "append"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+)
+
+// Rule describes one injected fault: the operation and path it matches,
+// when it starts firing, how often, and what failure it produces.
+type Rule struct {
+	// Op selects the operation ("" matches every operation).
+	Op Op
+	// PathContains narrows the rule to paths containing the substring
+	// ("" matches every path). Write/sync/close match against the path
+	// the file was opened with.
+	PathContains string
+	// After skips the first After matching calls before firing.
+	After int
+	// Times bounds how often the rule fires (0 = forever once active).
+	Times int
+	// Partial, for writes, writes only the first Partial bytes before
+	// failing — a torn write. Partial 0 fails without writing.
+	Partial int
+	// Err is the error returned (ErrInjected when nil).
+	Err error
+
+	seen  int
+	fired int
+}
+
+// ErrInjected is the default injected failure.
+var ErrInjected = fmt.Errorf("faultfs: injected fault")
+
+// Faulty wraps an FS with programmable fault injection. Zero value is
+// unusable; build with Wrap. Safe for concurrent use.
+type Faulty struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	hook  func(op Op, path string)
+}
+
+// Wrap decorates fs with fault injection; with no rules it is
+// transparent.
+func Wrap(fs FS) *Faulty { return &Faulty{inner: fs} }
+
+// AddRule arms a fault. The rule is matched in arming order; the first
+// active match fires.
+func (f *Faulty) AddRule(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &r)
+}
+
+// ClearRules disarms every fault.
+func (f *Faulty) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// SetHook installs a callback observed before every operation (after
+// fault matching), for tests that need to time an action — e.g. starting
+// a Shutdown the moment a checkpoint write begins. A nil hook disables
+// it.
+func (f *Faulty) SetHook(hook func(op Op, path string)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = hook
+}
+
+// check consumes one matching rule activation. It returns the rule's
+// error (and for writes the torn-byte count) when a rule fires.
+func (f *Faulty) check(op Op, path string) (partial int, err error) {
+	f.mu.Lock()
+	var hook func(Op, string)
+	for _, r := range f.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		err = r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		partial = r.Partial
+		break
+	}
+	hook = f.hook
+	f.mu.Unlock()
+	if hook != nil {
+		hook(op, path)
+	}
+	return partial, err
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) Create(path string) (File, error) {
+	if _, err := f.check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, path: path, inner: file}, nil
+}
+
+func (f *Faulty) OpenAppend(path string) (File, error) {
+	if _, err := f.check(OpAppend, path); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, path: path, inner: file}, nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if _, err := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(path string) error {
+	if _, err := f.check(OpRemove, path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *Faulty) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+
+func (f *Faulty) ReadDir(path string) ([]os.DirEntry, error) { return f.inner.ReadDir(path) }
+
+// faultyFile threads write/sync/close faults through to an open file. A
+// torn write (Rule.Partial) writes the prefix for real: the bytes land
+// on disk, exactly like a crash mid-write.
+type faultyFile struct {
+	f     *Faulty
+	path  string
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	partial, err := ff.f.check(OpWrite, ff.path)
+	if err != nil {
+		n := 0
+		if partial > 0 && partial < len(p) {
+			n, _ = ff.inner.Write(p[:partial])
+		}
+		return n, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if _, err := ff.f.check(OpSync, ff.path); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	if _, err := ff.f.check(OpClose, ff.path); err != nil {
+		ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,122 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTransparentWithoutRules(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(filepath.Join(dir, "b"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestInjectedSyncError(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	boom := errors.New("disk on fire")
+	fs.AddRule(Rule{Op: OpSync, Err: boom})
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync returned %v, want injected error", err)
+	}
+	f.Close()
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	fs.AddRule(Rule{Op: OpWrite, After: 2, Times: 1})
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, wantErr := range []bool{false, false, true, false, false} {
+		_, err := f.Write([]byte("x"))
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Errorf("write %d: err=%v, want failure=%v", i, err, wantErr)
+		}
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	fs.AddRule(Rule{Op: OpRename, PathContains: "journal"})
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "results.json")); err != nil {
+		t.Fatalf("unmatched rename failed: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "results.json"), filepath.Join(dir, "journal.jsonl")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched rename returned %v, want ErrInjected", err)
+	}
+}
+
+func TestTornWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	fs.AddRule(Rule{Op: OpWrite, Partial: 3, Times: 1})
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want 3 bytes and ErrInjected", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(got) != "hel" {
+		t.Fatalf("on disk %q, %v; want the torn prefix \"hel\"", got, err)
+	}
+}
+
+func TestHookObservesOps(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS())
+	var ops []Op
+	fs.SetHook(func(op Op, path string) { ops = append(ops, op) })
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	want := []Op{OpCreate, OpWrite, OpSync, OpClose}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", ops, want)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package mc
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ckSum is sumAcc with an exact binary round trip, making jobs built on
+// it checkpointable.
+type ckSum struct {
+	sum   float64
+	count int
+}
+
+func (a *ckSum) Merge(other Accumulator) {
+	o := other.(*ckSum)
+	a.sum += o.sum
+	a.count += o.count
+}
+
+func (a *ckSum) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out, math.Float64bits(a.sum))
+	binary.LittleEndian.PutUint64(out[8:], uint64(a.count))
+	return out, nil
+}
+
+func (a *ckSum) UnmarshalBinary(b []byte) error {
+	if len(b) != 16 {
+		return errors.New("ckSum: bad length")
+	}
+	a.sum = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	a.count = int(binary.LittleEndian.Uint64(b[8:]))
+	return nil
+}
+
+// ckJob mirrors sumJob over ckSum; executed (when non-nil) counts the
+// trials whose bodies actually ran, proving restored shards are skipped.
+func ckJob(trials int, seed int64, executed *atomic.Int64) Job {
+	return Job{
+		Trials: trials,
+		Seed:   seed,
+		NewAcc: func() Accumulator { return &ckSum{} },
+		Trial: func(rng *rand.Rand, trial int, acc Accumulator) {
+			if executed != nil {
+				executed.Add(1)
+			}
+			a := acc.(*ckSum)
+			a.sum += rng.Float64() * float64(trial%7+1)
+			a.count++
+		},
+	}
+}
+
+// interrupt runs the job with checkpointing on and cancels after
+// afterShards fresh snapshots, returning the latest checkpoint. The run
+// must actually be interrupted (return ErrCanceled).
+func interrupt(t *testing.T, job Job, opts Options, resume *Checkpoint, afterShards int) *Checkpoint {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var latest *Checkpoint
+	snaps := 0
+	opts.Checkpoint = &CheckpointConfig{
+		Resume: resume,
+		Sink: func(cp *Checkpoint) {
+			latest = cp
+			snaps++
+			if snaps >= afterShards {
+				cancel()
+			}
+		},
+	}
+	if _, err := RunCtx(ctx, job, opts); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("interrupted run returned %v, want ErrCanceled", err)
+	}
+	if latest == nil {
+		t.Fatal("no checkpoint emitted before the cancel")
+	}
+	return latest
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const trials, seed = 1000, 42
+	want := Run(ckJob(trials, seed, nil), Options{Parallelism: 1}).(*ckSum)
+
+	for _, par := range []int{1, 4} {
+		opts := Options{Parallelism: par}
+		cp := interrupt(t, ckJob(trials, seed, nil), opts, nil, 5)
+		if cp.Done() == 0 || cp.Done() >= trials {
+			t.Fatalf("parallelism %d: checkpoint covers %d/%d trials, want a strict mid-point", par, cp.Done(), trials)
+		}
+
+		var executed atomic.Int64
+		acc, err := RunCtxResumable(context.Background(), ckJob(trials, seed, &executed), opts,
+			&CheckpointConfig{Resume: cp})
+		if err != nil {
+			t.Fatalf("parallelism %d: resume: %v", par, err)
+		}
+		got := acc.(*ckSum)
+		if got.sum != want.sum || got.count != want.count {
+			t.Errorf("parallelism %d: resumed sum %v (count %d), want bit-identical %v (%d)",
+				par, got.sum, got.count, want.sum, want.count)
+		}
+		if int(executed.Load()) != trials-cp.Done() {
+			t.Errorf("parallelism %d: resume executed %d trials, want %d (checkpoint covers %d)",
+				par, executed.Load(), trials-cp.Done(), cp.Done())
+		}
+	}
+}
+
+func TestCheckpointResumeAfterManyInterruptions(t *testing.T) {
+	const trials, seed = 1000, 7
+	want := Run(ckJob(trials, seed, nil), Options{Parallelism: 1}).(*ckSum)
+
+	// Interrupt after every 3 fresh shards until a resume completes; the
+	// final result must be bit-identical no matter how many times the run
+	// died.
+	var cp *Checkpoint
+	interruptions := 0
+	for {
+		if cp != nil && trials-cp.Done() <= 3*DefaultShardSize {
+			break // next run would finish before the third snapshot
+		}
+		cp = interrupt(t, ckJob(trials, seed, nil), Options{Parallelism: 2}, cp, 3)
+		interruptions++
+	}
+	if interruptions < 2 {
+		t.Fatalf("only %d interruptions; the test needs several to mean anything", interruptions)
+	}
+	acc, err := RunCtxResumable(context.Background(), ckJob(trials, seed, nil), Options{Parallelism: 2},
+		&CheckpointConfig{Resume: cp})
+	if err != nil {
+		t.Fatalf("final resume: %v", err)
+	}
+	got := acc.(*ckSum)
+	if got.sum != want.sum || got.count != want.count {
+		t.Errorf("after %d interruptions: sum %v (count %d), want bit-identical %v (%d)",
+			interruptions, got.sum, got.count, want.sum, want.count)
+	}
+}
+
+func TestCheckpointFullyRestoredRunExecutesNothing(t *testing.T) {
+	const trials, seed = 300, 3
+	var full *Checkpoint
+	_, err := RunCtxResumable(context.Background(), ckJob(trials, seed, nil), Options{Parallelism: 2},
+		&CheckpointConfig{Sink: func(cp *Checkpoint) { full = cp }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == nil || full.Done() != trials {
+		t.Fatalf("completed run's final checkpoint covers %v trials, want %d", full.Done(), trials)
+	}
+
+	want := Run(ckJob(trials, seed, nil), Options{Parallelism: 1}).(*ckSum)
+	var executed atomic.Int64
+	acc, err := RunCtxResumable(context.Background(), ckJob(trials, seed, &executed), Options{Parallelism: 4},
+		&CheckpointConfig{Resume: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.(*ckSum); got.sum != want.sum || got.count != want.count {
+		t.Errorf("fully restored run: sum %v (count %d), want %v (%d)", got.sum, got.count, want.sum, want.count)
+	}
+	if executed.Load() != 0 {
+		t.Errorf("fully restored run executed %d trials, want 0", executed.Load())
+	}
+}
+
+func TestCheckpointMismatchIgnored(t *testing.T) {
+	const trials, seed = 500, 11
+	cp := interrupt(t, ckJob(trials, seed, nil), Options{Parallelism: 1}, nil, 4)
+
+	for name, stale := range map[string]*Checkpoint{
+		"seed":      {Trials: cp.Trials, Seed: cp.Seed + 1, ShardSize: cp.ShardSize, Shards: cp.Shards},
+		"trials":    {Trials: cp.Trials + 64, Seed: cp.Seed, ShardSize: cp.ShardSize, Shards: cp.Shards},
+		"shardsize": {Trials: cp.Trials, Seed: cp.Seed, ShardSize: cp.ShardSize / 2, Shards: cp.Shards},
+	} {
+		// The job keeps its true shape; only the checkpoint's metadata
+		// disagrees, so matches() must reject it wholesale.
+		job := ckJob(trials, seed, nil)
+		want := Run(job, Options{Parallelism: 1}).(*ckSum)
+		var executed atomic.Int64
+		jobCounted := job
+		jobCounted.Trial = func(rng *rand.Rand, trial int, acc Accumulator) {
+			executed.Add(1)
+			job.Trial(rng, trial, acc)
+		}
+		acc, err := RunCtxResumable(context.Background(), jobCounted, Options{Parallelism: 1},
+			&CheckpointConfig{Resume: stale})
+		if err != nil {
+			t.Fatalf("%s mismatch: %v", name, err)
+		}
+		if int(executed.Load()) != trials {
+			t.Errorf("%s mismatch: executed %d trials, want all %d (stale checkpoint must be ignored)",
+				name, executed.Load(), trials)
+		}
+		if got := acc.(*ckSum); got.sum != want.sum {
+			t.Errorf("%s mismatch: sum %v, want %v", name, got.sum, want.sum)
+		}
+	}
+}
+
+func TestCheckpointCorruptShardReruns(t *testing.T) {
+	const trials, seed = 500, 13
+	var full *Checkpoint
+	_, err := RunCtxResumable(context.Background(), ckJob(trials, seed, nil), Options{Parallelism: 1},
+		&CheckpointConfig{Sink: func(cp *Checkpoint) { full = cp }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := &Checkpoint{Trials: full.Trials, Seed: full.Seed, ShardSize: full.ShardSize, Shards: map[int][]byte{}}
+	for s, b := range full.Shards {
+		corrupt.Shards[s] = b
+	}
+	corrupt.Shards[2] = []byte{0xde, 0xad} // wrong length: Unmarshal fails
+	corrupt.Shards[99] = full.Shards[0]    // out of range: ignored
+	delete(corrupt.Shards, 3)              // simply missing
+
+	want := Run(ckJob(trials, seed, nil), Options{Parallelism: 1}).(*ckSum)
+	var executed atomic.Int64
+	acc, err := RunCtxResumable(context.Background(), ckJob(trials, seed, &executed), Options{Parallelism: 1},
+		&CheckpointConfig{Resume: corrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExec := shardTrials(2, full.ShardSize, trials) + shardTrials(3, full.ShardSize, trials)
+	if int(executed.Load()) != wantExec {
+		t.Errorf("executed %d trials, want %d (only the corrupt and missing shards re-run)", executed.Load(), wantExec)
+	}
+	if got := acc.(*ckSum); got.sum != want.sum || got.count != want.count {
+		t.Errorf("sum %v (count %d), want bit-identical %v (%d)", got.sum, got.count, want.sum, want.count)
+	}
+}
+
+func TestCheckpointNonMarshalableAccNeverSnapshots(t *testing.T) {
+	// sumJob's accumulator has no MarshalBinary: the engine must run the
+	// job normally and never call the sink.
+	sank := 0
+	acc, err := RunCtxResumable(context.Background(), sumJob(500, 1), Options{Parallelism: 2},
+		&CheckpointConfig{Sink: func(*Checkpoint) { sank++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sank != 0 {
+		t.Errorf("sink called %d times for a non-checkpointable job", sank)
+	}
+	want := Run(sumJob(500, 1), Options{Parallelism: 1}).(*sumAcc)
+	if got := acc.(*sumAcc); got.sum != want.sum {
+		t.Errorf("sum %v, want %v", got.sum, want.sum)
+	}
+}
+
+func TestCheckpointEveryShardsCadence(t *testing.T) {
+	const trials = 1000 // 16 shards at the default size
+	snaps := 0
+	var last *Checkpoint
+	_, err := RunCtxResumable(context.Background(), ckJob(trials, 5, nil), Options{Parallelism: 1},
+		&CheckpointConfig{EveryShards: 4, Sink: func(cp *Checkpoint) { snaps++; last = cp }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps != 4 {
+		t.Errorf("EveryShards=4 over 16 shards: %d snapshots, want 4", snaps)
+	}
+	if last == nil || last.Done() != trials {
+		t.Errorf("final snapshot covers %d trials, want %d", last.Done(), trials)
+	}
+}
+
+func TestCheckpointPeriodCadence(t *testing.T) {
+	// A period far longer than the run: only completion-boundary
+	// snapshots can fire, and with EveryShards unset they must not fire
+	// per shard.
+	snaps := 0
+	_, err := RunCtxResumable(context.Background(), ckJob(1000, 5, nil), Options{Parallelism: 1},
+		&CheckpointConfig{Period: time.Hour, Sink: func(*Checkpoint) { snaps++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps != 0 {
+		t.Errorf("hour-long period over a millisecond run: %d snapshots, want 0", snaps)
+	}
+}
+
+func TestCheckpointFlushOnCancelCoversCompletedShards(t *testing.T) {
+	// Cancel with a coarse cadence in flight: the flush on the cancel
+	// path must persist shards completed since the last snapshot.
+	const trials = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	shardsDone := 0
+	job := ckJob(trials, 9, nil)
+	inner := job.Trial
+	job.Trial = func(rng *rand.Rand, trial int, acc Accumulator) {
+		inner(rng, trial, acc)
+		if trial%DefaultShardSize == DefaultShardSize-1 {
+			shardsDone++
+			if shardsDone == 6 {
+				cancel()
+			}
+		}
+	}
+	_, err := RunCtxResumable(ctx, job, Options{Parallelism: 1},
+		&CheckpointConfig{EveryShards: 100, Sink: func(cp *Checkpoint) { last = cp }})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if last == nil {
+		t.Fatal("cancel did not flush a checkpoint")
+	}
+	if want := 6 * DefaultShardSize; last.Done() != want {
+		t.Errorf("flushed checkpoint covers %d trials, want %d", last.Done(), want)
+	}
+}
+
+func TestMapScratchResumeBitIdentical(t *testing.T) {
+	// The Map helpers thread Options.Checkpoint straight through to the
+	// engine; their mapAcc gob-encodes, so map jobs checkpoint too. The
+	// value type's fields must be exported — mirrors the sim fan-outs.
+	type cell struct{ V float64 }
+	run := func(opts Options, executed *atomic.Int64) ([]cell, error) {
+		return MapScratchCtx(context.Background(), 40, 21, opts,
+			func() int { return 0 },
+			func(rng *rand.Rand, i int, _ int) cell {
+				if executed != nil {
+					executed.Add(1)
+				}
+				return cell{V: rng.Float64() * float64(i+1)}
+			})
+	}
+	want, err := run(Options{ShardSize: 1, Parallelism: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after 10 of the 40 single-trial shards.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cp *Checkpoint
+	snaps := 0
+	opts := Options{ShardSize: 1, Parallelism: 1, Checkpoint: &CheckpointConfig{Sink: func(c *Checkpoint) {
+		cp = c
+		if snaps++; snaps == 10 {
+			cancel()
+		}
+	}}}
+	_, err = MapScratchCtx(ctx, 40, 21, opts,
+		func() int { return 0 },
+		func(rng *rand.Rand, i int, _ int) cell { return cell{V: rng.Float64() * float64(i+1)} })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+
+	var executed atomic.Int64
+	got, err := run(Options{ShardSize: 1, Parallelism: 1, Checkpoint: &CheckpointConfig{Resume: cp}}, &executed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(executed.Load()) != 40-cp.Done() {
+		t.Errorf("resume executed %d trials, want %d", executed.Load(), 40-cp.Done())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: resumed %v, want bit-identical %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	// The server persists checkpoints as JSON; the blobs must survive the
+	// base64 round trip and resume bit-identically.
+	const trials, seed = 500, 17
+	cp := interrupt(t, ckJob(trials, seed, nil), Options{Parallelism: 1}, nil, 4)
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	want := Run(ckJob(trials, seed, nil), Options{Parallelism: 1}).(*ckSum)
+	acc, err := RunCtxResumable(context.Background(), ckJob(trials, seed, nil), Options{Parallelism: 1},
+		&CheckpointConfig{Resume: &back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.(*ckSum); got.sum != want.sum || got.count != want.count {
+		t.Errorf("after JSON round trip: sum %v (count %d), want %v (%d)", got.sum, got.count, want.sum, want.count)
+	}
+}
+
+func TestResumerAlignsJobSequence(t *testing.T) {
+	// Two consecutive engine jobs under one Resumer; interrupt during the
+	// second, rebuild a Resumer from the persisted map, and re-run both.
+	// Job 0 must restore fully, job 1 partially, results bit-identical.
+	const trials, seedA, seedB = 500, 23, 29
+	wantA := Run(ckJob(trials, seedA, nil), Options{Parallelism: 1}).(*ckSum)
+	wantB := Run(ckJob(trials, seedB, nil), Options{Parallelism: 1}).(*ckSum)
+
+	saved := map[int]*Checkpoint{}
+	persist := func(i int, cp *Checkpoint) { saved[i] = cp }
+
+	// First attempt: job A completes, job B is cancelled after 3 shards.
+	r := NewResumer(nil, 0, 0, persist)
+	if _, err := RunCtxResumable(context.Background(), ckJob(trials, seedA, nil), Options{Parallelism: 1}, r.JobCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ckB := r.JobCheckpoint()
+	snaps := 0
+	sink := ckB.Sink
+	ckB.Sink = func(cp *Checkpoint) {
+		sink(cp)
+		if snaps++; snaps == 3 {
+			cancel()
+		}
+	}
+	if _, err := RunCtxResumable(ctx, ckJob(trials, seedB, nil), Options{Parallelism: 1}, ckB); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if saved[0] == nil || saved[0].Done() != trials || saved[1] == nil || saved[1].Done() == 0 {
+		t.Fatalf("persisted checkpoints wrong: job0=%v job1=%v", saved[0], saved[1])
+	}
+
+	// Second attempt from the persisted map: the sequence indices line up.
+	var execA, execB atomic.Int64
+	r2 := NewResumer(saved, 0, 0, nil)
+	accA, err := RunCtxResumable(context.Background(), ckJob(trials, seedA, &execA), Options{Parallelism: 1}, r2.JobCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accB, err := RunCtxResumable(context.Background(), ckJob(trials, seedB, &execB), Options{Parallelism: 1}, r2.JobCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execA.Load() != 0 {
+		t.Errorf("job A executed %d trials on resume, want 0 (fully checkpointed)", execA.Load())
+	}
+	if int(execB.Load()) != trials-saved[1].Done() {
+		t.Errorf("job B executed %d trials on resume, want %d", execB.Load(), trials-saved[1].Done())
+	}
+	if got := accA.(*ckSum); got.sum != wantA.sum {
+		t.Errorf("job A: sum %v, want %v", got.sum, wantA.sum)
+	}
+	if got := accB.(*ckSum); got.sum != wantB.sum {
+		t.Errorf("job B: sum %v, want %v", got.sum, wantB.sum)
+	}
+}

@@ -22,7 +22,9 @@
 package mc
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -96,9 +98,15 @@ type Options struct {
 	// starts — an explicit job-start signal, so a sink shared across
 	// consecutive jobs need not infer boundaries from count heuristics —
 	// and then after each shard completes with the number of trials
-	// finished so far and the total. Calls are serialised by the engine;
-	// done is non-decreasing across the calls of one job.
+	// finished so far and the total. A resumed job (Checkpoint.Resume)
+	// additionally reports the restored trials right after the start
+	// signal. Calls are serialised by the engine; done is non-decreasing
+	// across the calls of one job.
 	Progress func(done, total int)
+	// Checkpoint, when non-nil, enables shard-level checkpoint/resume
+	// (see CheckpointConfig). Like every other option it cannot affect
+	// the result: a resumed run is bit-identical to an uninterrupted one.
+	Checkpoint *CheckpointConfig
 }
 
 // Workers returns the effective worker count the options request (before
@@ -150,13 +158,25 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 	}
 	size := opts.shardSize()
 	shards := (job.Trials + size - 1) / size
+	accs := make([]Accumulator, shards)
+
+	// Restore completed shards from a prior interrupted run before any
+	// work is dispatched; restored slots are skipped below and their
+	// accumulators merge in shard order exactly as if they had just run.
+	ckpt := newCheckpointer(job, size, opts.Checkpoint)
+	resumed := 0
+	if ckpt != nil {
+		resumed = ckpt.restore(accs)
+	}
 	if opts.Progress != nil {
 		// Explicit job-start signal (see Options.Progress): emitted before
 		// any worker goroutine exists, so it is ordered before every
 		// per-shard call.
 		opts.Progress(0, job.Trials)
+		if resumed > 0 {
+			opts.Progress(resumed, job.Trials)
+		}
 	}
-	accs := make([]Accumulator, shards)
 
 	newScratch := func() any {
 		if job.NewScratch != nil {
@@ -184,18 +204,33 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 		accs[s] = acc
 	}
 
+	toRun := shards
+	for s := 0; s < shards; s++ {
+		if accs[s] != nil {
+			toRun--
+		}
+	}
 	workers := opts.Workers()
-	if workers > shards {
-		workers = shards
+	if workers > toRun {
+		workers = toRun
 	}
 	if workers <= 1 {
 		scratch := newScratch()
-		done := 0
+		done := resumed
 		for s := 0; s < shards; s++ {
+			if accs[s] != nil {
+				continue // restored from the checkpoint
+			}
 			if ctx.Err() != nil {
+				if ckpt != nil {
+					ckpt.flush()
+				}
 				return nil, ErrCanceled
 			}
 			runShard(s, scratch)
+			if ckpt != nil {
+				ckpt.completed(s, accs[s])
+			}
 			done += shardTrials(s, size, job.Trials)
 			if opts.Progress != nil {
 				opts.Progress(done, job.Trials)
@@ -205,7 +240,7 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 		var (
 			wg      sync.WaitGroup
 			mu      sync.Mutex
-			done    int
+			done    = resumed
 			shardCh = make(chan int)
 		)
 		wg.Add(workers)
@@ -220,6 +255,9 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 						continue
 					}
 					runShard(s, scratch)
+					if ckpt != nil {
+						ckpt.completed(s, accs[s])
+					}
 					if opts.Progress != nil {
 						mu.Lock()
 						done += shardTrials(s, size, job.Trials)
@@ -231,6 +269,9 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 		}
 	dispatch:
 		for s := 0; s < shards; s++ {
+			if accs[s] != nil {
+				continue // restored from the checkpoint
+			}
 			select {
 			case shardCh <- s:
 			case <-ctx.Done():
@@ -243,9 +284,14 @@ func RunCtx(ctx context.Context, job Job, opts Options) (Accumulator, error) {
 	if ctx.Err() != nil {
 		// A cancel that raced the finish line loses: when every shard ran
 		// to completion the result is whole, so return it. Only a run
-		// with shards actually skipped is cancelled.
+		// with shards actually skipped is cancelled — and its completed
+		// shards are flushed to the checkpoint sink first, so a graceful
+		// shutdown persists everything that finished.
 		for s := 0; s < shards; s++ {
 			if accs[s] == nil {
+				if ckpt != nil {
+					ckpt.flush()
+				}
 				return nil, ErrCanceled
 			}
 		}
@@ -418,4 +464,35 @@ func (m *mapAcc[T]) Merge(other Accumulator) {
 	o := other.(*mapAcc[T])
 	m.idx = append(m.idx, o.idx...)
 	m.vals = append(m.vals, o.vals...)
+}
+
+// mapAccWire is the gob image of a mapAcc shard; gob needs the exported
+// mirror because mapAcc's own fields are unexported.
+type mapAccWire[T any] struct {
+	Idx  []int
+	Vals []T
+}
+
+// MarshalBinary makes Map/MapScratch jobs checkpointable (see
+// CheckpointConfig): a shard's trial results are gob-encoded, which
+// round-trips float64 values bit for bit. It fails — and the engine
+// simply skips checkpointing that shard — when T is not gob-encodable
+// (e.g. a struct with no exported fields).
+func (m *mapAcc[T]) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(mapAccWire[T]{Idx: m.idx, Vals: m.vals}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a shard's trial results from MarshalBinary
+// bytes.
+func (m *mapAcc[T]) UnmarshalBinary(b []byte) error {
+	var w mapAccWire[T]
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	m.idx, m.vals = w.Idx, w.Vals
+	return nil
 }

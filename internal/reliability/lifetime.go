@@ -2,7 +2,9 @@ package reliability
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"arcc/internal/faultmodel"
@@ -25,6 +27,30 @@ func (a *yearSums) Merge(other mc.Accumulator) {
 	for i, v := range o.sums {
 		a.sums[i] += v
 	}
+}
+
+// MarshalBinary makes the lifetime Monte Carlos checkpointable (see
+// mc.CheckpointConfig): the per-year sums are stored as raw IEEE-754
+// bits, so the round trip is exact and a resumed sweep reproduces an
+// uninterrupted one bit for bit.
+func (a *yearSums) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8*len(a.sums))
+	for i, v := range a.sums {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a shard's per-year sums from MarshalBinary
+// bytes. The accumulator must have been created for the same year count.
+func (a *yearSums) UnmarshalBinary(b []byte) error {
+	if len(b) != 8*len(a.sums) {
+		return fmt.Errorf("reliability: year-sums snapshot holds %d bytes, want %d", len(b), 8*len(a.sums))
+	}
+	for i := range a.sums {
+		a.sums[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return nil
 }
 
 // arrivalScratch is the per-shard workspace of the lifetime Monte Carlos:

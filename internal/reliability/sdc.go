@@ -2,6 +2,7 @@ package reliability
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -135,6 +136,22 @@ func SDCsPer1000MachineYears(expectedPerLifetime float64, lifeYears float64) flo
 type eventCount struct{ events int }
 
 func (a *eventCount) Merge(other mc.Accumulator) { a.events += other.(*eventCount).events }
+
+// MarshalBinary/UnmarshalBinary make the SDC validation Monte Carlo
+// checkpointable; the count round-trips exactly.
+func (a *eventCount) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(a.events))
+	return out, nil
+}
+
+func (a *eventCount) UnmarshalBinary(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("reliability: event-count snapshot holds %d bytes, want 8", len(b))
+	}
+	a.events = int(binary.LittleEndian.Uint64(b))
+	return nil
+}
 
 // SimulateARCCDED runs the event-level Monte Carlo for the ARCC DED model:
 // it draws fault histories for channels channels and counts how many

@@ -41,6 +41,14 @@ type JobStatus struct {
 	Format  string `json:"format"`
 	// Cached marks a job served from the result cache without running.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a job attached to an identical in-flight job rather
+	// than sweeping on its own; it settles when that job does.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Recovered marks a job re-enqueued from the journal after a restart;
+	// Resumed additionally means saved checkpoints let it skip completed
+	// shards instead of re-running from scratch.
+	Recovered bool `json:"recovered,omitempty"`
+	Resumed   bool `json:"resumed,omitempty"`
 	// Error carries the failure (or cancellation) cause in terminal states.
 	Error string `json:"error,omitempty"`
 	// Progress reports the engine job the exhibit is currently running;
@@ -106,10 +114,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	m := s.Metrics()
 	writeJSON(w, code, map[string]any{
-		"status":     status,
-		"jobs":       jobs,
-		"jobs_run":   m.JobsRun,
-		"cache_hits": m.CacheHits,
+		"status":         status,
+		"jobs":           jobs,
+		"jobs_run":       m.JobsRun,
+		"cache_hits":     m.CacheHits,
+		"jobs_coalesced": m.JobsCoalesced,
+		"jobs_recovered": m.JobsRecovered,
+		"durable":        s.store != nil,
 	})
 }
 
@@ -227,8 +238,11 @@ func (s *Server) validate(body []byte) (submission, int, error) {
 	}
 	sub.name = ex.Name
 	sub.ex = ex
-	// The key hashes the *effective* scenario (defaults applied), so
-	// textually different JSON describing the same sweep dedupes.
+	// The effective scenario (defaults applied) rides along so the journal
+	// can re-create the job after a crash.
+	sub.scenario = &sc
+	// The key hashes the *effective* scenario, so textually different JSON
+	// describing the same sweep dedupes.
 	sub.key = cacheKey("", &sc, req.Seed, req.Trials, req.Quick)
 	return sub, 0, nil
 }
@@ -257,17 +271,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
-	// Cancel the job context (the engine stops within one shard); a job
-	// still waiting for a worker terminates immediately. Terminal states
-	// are untouched — cancel after done just reports the final status.
-	j.cancel()
-	j.mu.Lock()
-	if j.state == StateQueued {
-		j.state = StateCanceled
-		j.err = errors.New("canceled before start")
-		j.finished = time.Now()
-	}
-	j.mu.Unlock()
+	s.cancelJob(j)
 	writeJSON(w, http.StatusOK, j.status())
 }
 
@@ -304,6 +308,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	report := j.report
 	j.mu.Unlock()
+	if report == nil {
+		// A done job recovered from the journal whose persisted result was
+		// lost or evicted: the outcome is known but the bytes are not.
+		writeError(w, http.StatusGone, "result no longer available (evicted after a restart)")
+		return
+	}
 	w.Header().Set("Content-Type", contentType(format))
 	// Render into a buffer first so a mid-render error can still become a
 	// clean 500 instead of a truncated 200.
@@ -331,12 +341,15 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.id,
-		Exhibit: j.name,
-		State:   j.state,
-		Format:  j.format,
-		Cached:  j.cached,
-		Created: rfc3339(j.created),
+		ID:        j.id,
+		Exhibit:   j.name,
+		State:     j.state,
+		Format:    j.format,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Recovered: j.recovered,
+		Resumed:   j.resumed,
+		Created:   rfc3339(j.created),
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -1,0 +1,323 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arcc/internal/faultfs"
+	"arcc/internal/server"
+)
+
+// startServer is newTestServer without the automatic cleanup: restart
+// tests stop and re-create servers on the same state dir explicitly.
+func startServer(t *testing.T, opts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	svc, err := server.New(opts)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	return svc, httptest.NewServer(svc.Handler())
+}
+
+func stopServer(t *testing.T, svc *server.Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func del(t *testing.T, ts *httptest.Server, id string) server.JobStatus {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding cancel response: %v", err)
+	}
+	return st
+}
+
+func healthz(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	_, b := get(t, ts.URL+"/v1/healthz")
+	out := map[string]any{}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	return out
+}
+
+func TestRestartRestoresCacheAndJobs(t *testing.T) {
+	dir := t.TempDir()
+	opts := server.Options{Workers: 1, StateDir: dir, Logf: t.Logf}
+
+	svc1, ts1 := startServer(t, opts)
+	_, st := post(t, ts1, fmt.Sprintf(`{"scenario": %s, "seed": 5}`, tinyScenario))
+	waitState(t, ts1, st.ID, server.StateDone)
+	code, want := get(t, ts1.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result before restart: HTTP %d", code)
+	}
+	stopServer(t, svc1, ts1)
+
+	svc2, ts2 := startServer(t, opts)
+	defer stopServer(t, svc2, ts2)
+
+	// The finished job survives the restart with its exact result bytes.
+	got2 := getStatus(t, ts2, st.ID)
+	if got2.State != server.StateDone {
+		t.Fatalf("job after restart: %q, want done", got2.State)
+	}
+	code, got := get(t, ts2.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("result after restart: HTTP %d, bytes equal %v", code, bytes.Equal(got, want))
+	}
+	// An identical resubmission is a cache hit served from the restored
+	// cache — no re-run — and job ids keep counting from where they left.
+	code, st2 := post(t, ts2, fmt.Sprintf(`{"scenario": %s, "seed": 5}`, tinyScenario))
+	if code != http.StatusCreated || !st2.Cached {
+		t.Fatalf("resubmit after restart: HTTP %d cached=%v, want 201 from cache", code, st2.Cached)
+	}
+	if st2.ID != "job-2" {
+		t.Fatalf("resubmitted job id %s, want job-2 (sequence restored)", st2.ID)
+	}
+	if n := svc2.Metrics().JobsRun; n != 0 {
+		t.Fatalf("restarted server ran %d jobs, want 0 (everything served from restored state)", n)
+	}
+}
+
+func TestCrashMidSweepResumesByteIdentical(t *testing.T) {
+	const scenario = `{"name":"resume","trials":300000}`
+	dir := t.TempDir()
+	fs := faultfs.Wrap(faultfs.OS())
+	opts := server.Options{
+		Workers:               1,
+		StateDir:              dir,
+		FS:                    fs,
+		CheckpointEveryShards: 200,
+		CheckpointPeriod:      time.Hour, // cadence purely shard-driven
+		Logf:                  t.Logf,
+	}
+	svc1, ts1 := startServer(t, opts)
+
+	// Force an abrupt stop the moment the first checkpoint lands: Shutdown
+	// with an expired context cancels every job context immediately, which
+	// is the in-process analogue of a crash — except the engine still gets
+	// to flush its final snapshot, exercising the Shutdown-races-
+	// checkpoint-write window under the race detector.
+	crashed := make(chan struct{})
+	var once sync.Once
+	fs.SetHook(func(op faultfs.Op, path string) {
+		if op == faultfs.OpRename && strings.Contains(path, "checkpoints") {
+			once.Do(func() {
+				go func() {
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					svc1.Shutdown(ctx)
+					close(crashed)
+				}()
+			})
+		}
+	})
+
+	_, st := post(t, ts1, fmt.Sprintf(`{"scenario": %s, "seed": 9, "parallel": 1}`, scenario))
+	select {
+	case <-crashed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("the job never wrote a checkpoint")
+	}
+	got := getStatus(t, ts1, st.ID)
+	if got.State != server.StateCanceled {
+		t.Fatalf("interrupted job: %q, want canceled in the dying process", got.State)
+	}
+	ts1.Close()
+	fs.SetHook(nil)
+
+	svc2, ts2 := startServer(t, opts)
+	defer stopServer(t, svc2, ts2)
+	if n := svc2.Metrics().JobsRecovered; n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	final := waitState(t, ts2, st.ID, server.StateDone)
+	if !final.Recovered || !final.Resumed {
+		t.Fatalf("finished job recovered=%v resumed=%v, want both true", final.Recovered, final.Resumed)
+	}
+	code, got2 := get(t, ts2.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("resumed result: HTTP %d: %s", code, got2)
+	}
+	want := cliRender(t, scenario, "json", 9, 0, 1, false)
+	if !bytes.Equal(got2, want) {
+		t.Errorf("resumed report differs from an uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got2, want)
+	}
+}
+
+func TestServerToleratesTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := server.Options{Workers: 1, StateDir: dir, Logf: t.Logf}
+
+	svc1, ts1 := startServer(t, opts)
+	_, st := post(t, ts1, fmt.Sprintf(`{"scenario": %s, "seed": 3}`, tinyScenario))
+	waitState(t, ts1, st.ID, server.StateDone)
+	stopServer(t, svc1, ts1)
+
+	// A crash mid-append tears the final journal line.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"submit","id":"job-99","ke`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	svc2, ts2 := startServer(t, opts)
+	defer stopServer(t, svc2, ts2)
+	if got := getStatus(t, ts2, st.ID); got.State != server.StateDone {
+		t.Fatalf("job after torn-tail restart: %q, want done", got.State)
+	}
+	if code, _ := get(t, ts2.URL+"/v1/jobs/job-99"); code != http.StatusNotFound {
+		t.Fatalf("torn job visible after restart: HTTP %d, want 404", code)
+	}
+	if code, st2 := post(t, ts2, fmt.Sprintf(`{"scenario": %s, "seed": 3}`, tinyScenario)); code != http.StatusCreated || !st2.Cached {
+		t.Fatalf("resubmit after torn-tail restart: HTTP %d cached=%v, want a cache hit", code, st2.Cached)
+	}
+}
+
+func TestCheckpointWriteFaultsDoNotFailJob(t *testing.T) {
+	const scenario = `{"name":"faulty","trials":100000}`
+	fs := faultfs.Wrap(faultfs.OS())
+	// Every checkpoint write fails at creation; the sweep must not care.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpCreate, PathContains: "checkpoints"})
+	_, ts := newTestServer(t, server.Options{
+		Workers:               1,
+		StateDir:              t.TempDir(),
+		FS:                    fs,
+		CheckpointEveryShards: 50,
+		CheckpointPeriod:      time.Hour,
+		Logf:                  t.Logf,
+	})
+	_, st := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": 4, "parallel": 1}`, scenario))
+	waitState(t, ts, st.ID, server.StateDone)
+	code, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result with checkpoint faults: HTTP %d", code)
+	}
+	if want := cliRender(t, scenario, "json", 4, 0, 1, false); !bytes.Equal(got, want) {
+		t.Error("checkpoint write faults changed the report bytes")
+	}
+}
+
+func TestCoalesceIdenticalInflightSharesOneRun(t *testing.T) {
+	svc, ts := newTestServer(t, server.Options{Workers: 1})
+
+	// One worker: the blocker occupies it, so job A sits queued and the
+	// identical submissions B and C must attach to A, not run or cache-hit.
+	_, blocker := post(t, ts, fmt.Sprintf(`{"scenario": %s, "parallel": 1}`, bigScenario))
+	waitState(t, ts, blocker.ID, server.StateRunning)
+
+	body := fmt.Sprintf(`{"scenario": %s, "seed": 6}`, tinyScenario)
+	_, a := post(t, ts, body)
+	codeB, b := post(t, ts, body)
+	if codeB != http.StatusAccepted || !b.Coalesced {
+		t.Fatalf("duplicate submit: HTTP %d coalesced=%v, want 202 attached to %s", codeB, b.Coalesced, a.ID)
+	}
+	// Different parallelism, same result identity: still coalesces.
+	_, c := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": 6, "parallel": 2}`, tinyScenario))
+	if !c.Coalesced {
+		t.Fatal("parallel-only variant did not coalesce")
+	}
+
+	del(t, ts, blocker.ID)
+	waitState(t, ts, a.ID, server.StateDone)
+	waitState(t, ts, b.ID, server.StateDone)
+	waitState(t, ts, c.ID, server.StateDone)
+
+	_, wantA := get(t, ts.URL+"/v1/jobs/"+a.ID+"/result")
+	_, gotB := get(t, ts.URL+"/v1/jobs/"+b.ID+"/result")
+	if !bytes.Equal(wantA, gotB) {
+		t.Error("coalesced follower's report differs from the primary's")
+	}
+	_, gotC := get(t, ts.URL+"/v1/jobs/"+c.ID+"/result")
+	if !bytes.Contains(gotC, []byte(`"parallel": 2`)) {
+		t.Errorf("follower with parallel 2 kept the primary's meta:\n%s", gotC)
+	}
+	m := svc.Metrics()
+	if m.JobsCoalesced != 2 {
+		t.Errorf("JobsCoalesced = %d, want 2", m.JobsCoalesced)
+	}
+	// The blocker ran (and was canceled); A ran; B and C did not.
+	if m.JobsRun != 2 {
+		t.Errorf("JobsRun = %d, want 2 (blocker + primary only)", m.JobsRun)
+	}
+	h := healthz(t, ts)
+	if h["jobs_coalesced"].(float64) != 2 {
+		t.Errorf("healthz jobs_coalesced = %v, want 2", h["jobs_coalesced"])
+	}
+}
+
+func TestCancelSemanticsWithCoalescedJobs(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{Workers: 1})
+	_, blocker := post(t, ts, fmt.Sprintf(`{"scenario": %s, "parallel": 1}`, bigScenario))
+	waitState(t, ts, blocker.ID, server.StateRunning)
+
+	body := fmt.Sprintf(`{"scenario": %s, "seed": 8}`, tinyScenario)
+	_, a := post(t, ts, body)
+	_, b := post(t, ts, body)
+	_, c := post(t, ts, body)
+	if !b.Coalesced || !c.Coalesced {
+		t.Fatalf("followers did not coalesce: b=%v c=%v", b.Coalesced, c.Coalesced)
+	}
+
+	// Canceling a follower detaches it without touching the primary.
+	if st := del(t, ts, c.ID); st.State != server.StateCanceled {
+		t.Fatalf("canceled follower state %q", st.State)
+	}
+	if st := getStatus(t, ts, a.ID); st.State != server.StateQueued {
+		t.Fatalf("primary after follower cancel: %q, want still queued", st.State)
+	}
+	// Canceling the primary cancels the jobs coalesced onto it.
+	if st := del(t, ts, a.ID); st.State != server.StateCanceled {
+		t.Fatalf("canceled primary state %q", st.State)
+	}
+	if st := getStatus(t, ts, b.ID); st.State != server.StateCanceled {
+		t.Fatalf("follower after primary cancel: %q, want canceled", st.State)
+	}
+	del(t, ts, blocker.ID)
+}
+
+func TestMaxJobDurationFailsRunawayJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{
+		Workers:        1,
+		MaxJobDuration: 100 * time.Millisecond,
+	})
+	// A million serial trials run ~1s, far past the 100ms cap.
+	_, st := post(t, ts, fmt.Sprintf(`{"scenario": %s, "parallel": 1}`, bigScenario))
+	final := waitState(t, ts, st.ID, server.StateFailed)
+	if !strings.Contains(final.Error, "max duration") {
+		t.Fatalf("timeout failure reads %q, want a max-duration explanation", final.Error)
+	}
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result"); code != http.StatusInternalServerError {
+		t.Fatalf("result of a timed-out job: HTTP %d, want 500", code)
+	}
+}

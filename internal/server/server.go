@@ -13,7 +13,21 @@
 // never on the worker count — completed reports are kept in a
 // content-addressed cache, and an identical resubmission is served
 // without re-running (only the report's Meta is restamped with the new
-// request's parameters).
+// request's parameters). A resubmission that matches a job still queued
+// or running coalesces onto it instead of sweeping twice: the follower
+// shares the primary's progress and receives a restamped copy of its
+// report when it completes (canceling the primary cancels its followers;
+// canceling a follower just detaches it).
+//
+// With Options.StateDir set the service survives crashes: accepted jobs
+// are recorded in an append-only fsync'd journal, completed reports are
+// persisted as content-addressed files, and running jobs checkpoint
+// their completed Monte Carlo shards every few shards or seconds. On
+// startup the journal is replayed — tolerating a torn final record —
+// the result cache is restored, and jobs interrupted mid-run are
+// re-enqueued from their latest checkpoint. Because the engine merges
+// per-shard accumulators deterministically, a resumed sweep's report is
+// byte-identical to an uninterrupted one.
 //
 // The package is panic-proof at its boundary: every request is validated
 // before it can reach a library panic path (unknown exhibits, invalid
@@ -29,12 +43,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"arcc/internal/exhibit"
+	"arcc/internal/experiments"
+	"arcc/internal/faultfs"
 	"arcc/internal/mc"
 )
 
@@ -63,6 +82,29 @@ type Options struct {
 	// terminal jobs are forgotten: they disappear from listings and their
 	// ids answer 404. Queued and running jobs are never pruned.
 	MaxFinishedJobs int
+	// MaxJobDuration caps one job's wall-clock execution; 0 means
+	// unlimited. A job that outlives the cap is canceled through the
+	// engine's ctx path (stops within one shard) and marked failed with a
+	// timeout reason, so a runaway sweep cannot occupy a worker forever.
+	MaxJobDuration time.Duration
+	// StateDir, when non-empty, makes the service durable: a job journal,
+	// the result cache, and running-job checkpoints are persisted under
+	// this directory and recovered on startup (see the package comment).
+	StateDir string
+	// CheckpointEveryShards snapshots a running job after this many
+	// completed engine shards; <= 0 means DefaultCheckpointEveryShards.
+	// Only meaningful with StateDir.
+	CheckpointEveryShards int
+	// CheckpointPeriod also snapshots when this much time passed since
+	// the previous snapshot; <= 0 means DefaultCheckpointPeriod. Only
+	// meaningful with StateDir.
+	CheckpointPeriod time.Duration
+	// FS is the filesystem the durable store writes through; nil means
+	// the real one. Tests inject faults here (faultfs.Wrap).
+	FS faultfs.FS
+	// Logf receives operational log lines (journal write failures,
+	// recovery notes); nil means the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // DefaultQueueDepth is the submission queue bound when Options.QueueDepth
@@ -81,6 +123,14 @@ const DefaultMaxCachedResults = 256
 // DefaultMaxFinishedJobs is the terminal-job retention bound when
 // Options.MaxFinishedJobs is zero.
 const DefaultMaxFinishedJobs = 1024
+
+// DefaultCheckpointEveryShards is the shard-count checkpoint cadence when
+// Options.CheckpointEveryShards is zero.
+const DefaultCheckpointEveryShards = 64
+
+// DefaultCheckpointPeriod is the time-based checkpoint cadence when
+// Options.CheckpointPeriod is zero.
+const DefaultCheckpointPeriod = 2 * time.Second
 
 // MaxParallel caps the per-job engine worker override.
 const MaxParallel = 1024
@@ -120,6 +170,20 @@ func (o Options) maxFinishedJobs() int {
 	return o.MaxFinishedJobs
 }
 
+func (o Options) checkpointEveryShards() int {
+	if o.CheckpointEveryShards <= 0 {
+		return DefaultCheckpointEveryShards
+	}
+	return o.CheckpointEveryShards
+}
+
+func (o Options) checkpointPeriod() time.Duration {
+	if o.CheckpointPeriod <= 0 {
+		return DefaultCheckpointPeriod
+	}
+	return o.CheckpointPeriod
+}
+
 // State is a job's lifecycle position. Transitions are
 // queued → running → {done, failed, canceled}, with queued → canceled
 // for jobs canceled before a worker picks them up; done/failed/canceled
@@ -147,14 +211,25 @@ type job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	created time.Time
+	subRec  journalRecord          // the journal record that re-creates this job
+	saved   map[int]*mc.Checkpoint // checkpoints restored at recovery, nil otherwise
 
-	mu       sync.Mutex
-	state    State
-	err      error
-	report   *exhibit.Report
-	cached   bool
-	started  time.Time
-	finished time.Time
+	// coalescing links, guarded by the server's mu (lock order s.mu → j.mu).
+	primary   *job   // the running job this one attached to, nil otherwise
+	followers []*job // jobs attached to this one
+
+	mu           sync.Mutex
+	state        State
+	err          error
+	report       *exhibit.Report
+	cached       bool
+	coalesced    bool // resolved by a primary rather than run
+	recovered    bool // re-enqueued from the journal after a restart
+	resumed      bool // restored checkpoints actually skipped work
+	userCanceled bool // DELETE, as opposed to a shutdown cancel
+	journaled    bool // terminal record written, exactly once
+	started      time.Time
+	finished     time.Time
 }
 
 // Server owns the job table, the result cache, and the worker pool. Create
@@ -164,57 +239,101 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	queue     chan *job
+	store     *store // nil when StateDir is unset
 	wg        sync.WaitGroup
 
 	mu         sync.Mutex
 	jobs       map[string]*job
 	order      []string // job ids in submission order, for listings
 	cache      map[string]*exhibit.Report
-	cacheOrder []string // cache keys in insertion order, for FIFO eviction
+	cacheOrder []string        // cache keys in insertion order, for FIFO eviction
+	inflight   map[string]*job // key → primary job queued or running
 	closed     bool
 	seq        uint64
 
-	jobsRun   atomic.Int64
-	cacheHits atomic.Int64
+	jobsRun       atomic.Int64
+	cacheHits     atomic.Int64
+	jobsCoalesced atomic.Int64
+	jobsRecovered atomic.Int64
 }
 
 // Metrics is a snapshot of the server's run counters. JobsRun counts
 // exhibits actually executed (cache hits do not run), CacheHits counts
-// submissions served from the result cache.
+// submissions served from the result cache, JobsCoalesced counts
+// submissions attached to an identical in-flight job, and JobsRecovered
+// counts jobs re-enqueued from the journal after a restart.
 type Metrics struct {
-	JobsRun   int64
-	CacheHits int64
+	JobsRun       int64
+	CacheHits     int64
+	JobsCoalesced int64
+	JobsRecovered int64
 }
 
-// New starts a server with a running worker pool. Callers must Shutdown
-// it to release the workers.
-func New(opts Options) *Server {
+// New starts a server with a running worker pool, recovering persisted
+// state first when Options.StateDir is set. Callers must Shutdown it to
+// release the workers.
+func New(opts Options) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
 		baseCtx:   ctx,
 		cancelAll: cancel,
-		queue:     make(chan *job, opts.queueDepth()),
 		jobs:      map[string]*job{},
 		cache:     map[string]*exhibit.Report{},
+		inflight:  map[string]*job{},
+	}
+	var pending []*job
+	if opts.StateDir != "" {
+		fs := opts.FS
+		if fs == nil {
+			fs = faultfs.OS()
+		}
+		st, err := newStore(fs, opts.StateDir, s.logf)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		pending = s.recoverState()
+	}
+	// Size the queue to hold every recovered job on top of the configured
+	// depth, so recovery can never deadlock on its own backlog.
+	s.queue = make(chan *job, opts.queueDepth()+len(pending))
+	for _, j := range pending {
+		s.queue <- j
 	}
 	for i := 0; i < opts.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Metrics returns the current run counters.
 func (s *Server) Metrics() Metrics {
-	return Metrics{JobsRun: s.jobsRun.Load(), CacheHits: s.cacheHits.Load()}
+	return Metrics{
+		JobsRun:       s.jobsRun.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		JobsCoalesced: s.jobsCoalesced.Load(),
+		JobsRecovered: s.jobsRecovered.Load(),
+	}
 }
 
 // Shutdown stops accepting jobs and drains the pool: queued and running
 // jobs keep executing until they finish or ctx expires, at which point
 // every job context is canceled (the engine stops within one shard) and
 // the workers are awaited. It returns ctx.Err() when the deadline forced
-// the cancel, nil on a clean drain.
+// the cancel, nil on a clean drain. With a state dir, jobs the deadline
+// interrupted keep their latest checkpoint and no terminal journal
+// record, so the next startup resumes them where they stopped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
@@ -231,30 +350,58 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.store != nil {
+		s.store.close()
+	}
+	return err
 }
 
 // submission is a validated job request, ready to enqueue.
 type submission struct {
-	name   string
-	ex     exhibit.Exhibit
-	key    string
-	format string
-	seed   int64
-	trials int
-	par    int
-	quick  bool
+	name     string
+	ex       exhibit.Exhibit
+	key      string
+	format   string
+	seed     int64
+	trials   int
+	par      int
+	quick    bool
+	scenario *exhibit.Scenario // the effective scenario, nil for registry exhibits
+}
+
+// record builds the journal line that re-creates this submission.
+func (sub submission) record(id string, created time.Time) journalRecord {
+	rec := journalRecord{
+		Op:       opSubmit,
+		ID:       id,
+		Key:      sub.key,
+		Name:     sub.name,
+		Format:   sub.format,
+		Seed:     sub.seed,
+		Trials:   sub.trials,
+		Parallel: sub.par,
+		Quick:    sub.quick,
+		Time:     created.UTC().Format(time.RFC3339Nano),
+	}
+	if sub.scenario != nil {
+		rec.Scenario = sub.scenario
+	} else {
+		rec.Exhibit = sub.name
+	}
+	return rec
 }
 
 // submit registers the submission as a job: served straight from the
-// result cache when an identical run already completed, enqueued for a
+// result cache when an identical run already completed, attached to an
+// identical in-flight job when one is queued or running, enqueued for a
 // worker otherwise. It returns errServerClosed after Shutdown and
 // errQueueFull when the backlog bound is hit.
 func (s *Server) submit(sub submission) (*job, error) {
@@ -288,6 +435,7 @@ func (s *Server) submit(sub submission) (*job, error) {
 	}
 	s.seq++
 	j.id = fmt.Sprintf("job-%d", s.seq)
+	j.subRec = sub.record(j.id, j.created)
 	if cached, ok := s.cache[sub.key]; ok {
 		// The engine's contract makes the result a pure function of the
 		// cache key; only the report metadata (e.g. the Parallel knob)
@@ -304,6 +452,33 @@ func (s *Server) submit(sub submission) (*job, error) {
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
 		cancel()
+		s.journalSubmit(j)
+		s.journalTerminal(j)
+		return j, nil
+	}
+	if p, ok := s.inflight[sub.key]; ok && !p.terminal() {
+		// An identical job is already queued or running: attach to it
+		// rather than sweeping twice. The follower shares the primary's
+		// tracker (live progress) and is resolved when the primary ends.
+		// This cannot race the primary's completion: finishJob snapshots
+		// followers under the same s.mu, so an attach either lands before
+		// that snapshot or observes p.terminal() above.
+		j.primary = p
+		j.coalesced = true
+		j.tracker = p.tracker
+		p.followers = append(p.followers, j)
+		p.mu.Lock()
+		if p.state == StateRunning {
+			j.state = StateRunning
+			j.started = time.Now()
+		}
+		p.mu.Unlock()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.pruneJobsLocked()
+		s.mu.Unlock()
+		s.jobsCoalesced.Add(1)
+		s.journalSubmit(j)
 		return j, nil
 	}
 	// The enqueue attempt happens under s.mu, for two reasons. First, it
@@ -316,8 +491,10 @@ func (s *Server) submit(sub submission) (*job, error) {
 	case s.queue <- j:
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		s.inflight[sub.key] = j
 		s.pruneJobsLocked()
 		s.mu.Unlock()
+		s.journalSubmit(j)
 		return j, nil
 	default:
 		s.mu.Unlock()
@@ -331,19 +508,83 @@ var (
 	errQueueFull    = errors.New("job queue is full")
 )
 
-// storeResult inserts a completed report into the result cache, evicting
-// the oldest entries (FIFO) past the retention bound.
+// journalSubmit records an accepted job. A journal failure degrades
+// durability, not availability: the job still runs, it just would not be
+// recovered after a crash.
+func (s *Server) journalSubmit(j *job) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.append(j.subRec); err != nil {
+		s.logf("server: journaling submit of %s: %v", j.id, err)
+	}
+}
+
+// journalTerminal records a job's terminal state, exactly once. Callers
+// must only invoke it after the job reached done/failed/canceled.
+func (s *Server) journalTerminal(j *job) {
+	if s.store == nil {
+		return
+	}
+	j.mu.Lock()
+	var op string
+	switch j.state {
+	case StateDone:
+		op = opDone
+	case StateFailed:
+		op = opFailed
+	case StateCanceled:
+		op = opCanceled
+	default:
+		j.mu.Unlock()
+		return
+	}
+	if j.journaled {
+		j.mu.Unlock()
+		return
+	}
+	j.journaled = true
+	rec := journalRecord{Op: op, ID: j.id, Key: j.key, Cached: j.cached}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	if err := s.store.append(rec); err != nil {
+		s.logf("server: journaling %s of %s: %v", op, j.id, err)
+	}
+	s.store.removeCheckpoints(j.id)
+}
+
+// storeResult inserts a completed report into the result cache (and, with
+// a state dir, onto disk), evicting the oldest entries (FIFO) past the
+// retention bound. A persistence failure is logged, never fatal: the
+// in-memory cache still serves the result for this process's lifetime.
 func (s *Server) storeResult(key string, report *exhibit.Report) {
+	if s.store != nil {
+		if blob, err := exhibit.EncodeReport(report); err != nil {
+			s.logf("server: encoding result %s: %v", key, err)
+		} else if err := s.store.saveResult(key, blob); err != nil {
+			s.logf("server: persisting result %s: %v", key, err)
+		}
+	}
+	var evicted []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.cache[key]; dup {
+		s.mu.Unlock()
 		return
 	}
 	s.cache[key] = report
 	s.cacheOrder = append(s.cacheOrder, key)
 	for len(s.cache) > s.opts.maxCachedResults() {
+		evicted = append(evicted, s.cacheOrder[0])
 		delete(s.cache, s.cacheOrder[0])
 		s.cacheOrder = s.cacheOrder[1:]
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		for _, old := range evicted {
+			s.store.removeResult(old)
+		}
 	}
 }
 
@@ -382,6 +623,10 @@ func (s *Server) pruneJobsLocked() {
 func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.terminalLocked()
+}
+
+func (j *job) terminalLocked() bool {
 	switch j.state {
 	case StateDone, StateFailed, StateCanceled:
 		return true
@@ -421,31 +666,66 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	if j.state != StateQueued || j.ctx.Err() != nil {
-		// Canceled (or shutdown-canceled) while waiting for a worker.
-		if j.state == StateQueued {
-			j.state = StateCanceled
-			j.err = mc.ErrCanceled
-			j.finished = time.Now()
+		if j.terminalLocked() {
+			// Canceled via DELETE while waiting for a worker: cancelJob
+			// already did the bookkeeping.
+			j.mu.Unlock()
+			j.cancel()
+			return
 		}
+		// Shutdown-canceled while waiting for a worker: terminal in this
+		// process, but no terminal journal record — the job re-enqueues
+		// on the next startup.
+		j.state = StateCanceled
+		j.err = mc.ErrCanceled
+		j.finished = time.Now()
 		j.mu.Unlock()
 		j.cancel()
+		s.finishJob(j, true)
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.followersRunning(j)
 
-	report, err := s.execute(j)
+	// With a state dir, thread checkpoint/resume through every engine job
+	// the exhibit runs. The Resumer sequence-indexes the engine jobs, so
+	// a resumed run's checkpoints line up with the interrupted one's.
+	if s.store != nil {
+		j.cfg.Resume = mc.NewResumer(j.saved,
+			s.opts.checkpointEveryShards(), s.opts.checkpointPeriod(), s.persistFunc(j))
+	}
 
+	// A runaway job is bounded by MaxJobDuration through the same ctx
+	// path a cancel uses; the deadline variant is told apart from a user
+	// or shutdown cancel below.
+	runCtx := j.ctx
+	cancelRun := context.CancelFunc(func() {})
+	if d := s.opts.MaxJobDuration; d > 0 {
+		runCtx, cancelRun = context.WithTimeout(j.ctx, d)
+	}
+	report, err := s.execute(runCtx, j)
+	timedOut := errors.Is(runCtx.Err(), context.DeadlineExceeded) && j.ctx.Err() == nil
+	cancelRun()
+
+	var shutdownInterrupted bool
 	j.mu.Lock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.report = report
+	case timedOut:
+		j.state = StateFailed
+		j.err = fmt.Errorf("job exceeded the server's max duration %s", s.opts.MaxJobDuration)
 	case errors.Is(err, mc.ErrCanceled) || j.ctx.Err() != nil:
 		j.state = StateCanceled
 		j.err = mc.ErrCanceled
+		// A cancel that came from Shutdown (not DELETE) leaves no
+		// terminal record: the job is interrupted, not finished, and the
+		// next startup resumes it from its flushed checkpoint.
+		shutdownInterrupted = !j.userCanceled && s.baseCtx.Err() != nil
 	default:
 		j.state = StateFailed
 		j.err = err
@@ -454,20 +734,382 @@ func (s *Server) runJob(j *job) {
 	if err == nil {
 		// Published after j.mu is released: the cache write takes s.mu, and
 		// the prune path nests j.mu inside s.mu, so holding j.mu here would
-		// invert the lock order.
+		// invert the lock order. The result file lands before the "done"
+		// journal record, so replay never sees a done job without its
+		// result.
 		s.storeResult(j.key, report)
 	}
 	j.cancel()
+	s.finishJob(j, shutdownInterrupted)
 }
 
-func (s *Server) execute(j *job) (report *exhibit.Report, err error) {
+// finishJob does the server-side bookkeeping once j is terminal: drop the
+// in-flight key, journal the outcome (unless a shutdown interrupted the
+// job, which must stay non-terminal in the journal to be resumed), and
+// resolve coalesced followers. Shutdown-interrupted jobs keep their
+// followers unresolved too — each holds its own non-terminal journal
+// record and re-attaches on recovery.
+func (s *Server) finishJob(j *job, shutdownInterrupted bool) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	var followers []*job
+	if !shutdownInterrupted {
+		followers = j.followers
+		j.followers = nil
+	}
+	s.mu.Unlock()
+	if shutdownInterrupted {
+		return
+	}
+	s.journalTerminal(j)
+	for _, f := range followers {
+		s.resolveFollower(f, j)
+	}
+}
+
+// followersRunning flips j's followers to running alongside it.
+func (s *Server) followersRunning(j *job) {
+	s.mu.Lock()
+	followers := append([]*job(nil), j.followers...)
+	s.mu.Unlock()
+	for _, f := range followers {
+		f.mu.Lock()
+		if f.state == StateQueued {
+			f.state = StateRunning
+			f.started = time.Now()
+		}
+		f.mu.Unlock()
+	}
+}
+
+// resolveFollower settles a coalesced job from its primary's outcome: a
+// restamped copy of the report on success, the primary's failure or
+// cancellation otherwise (canceling a primary cancels its followers).
+func (s *Server) resolveFollower(f *job, p *job) {
+	p.mu.Lock()
+	state, err, report := p.state, p.err, p.report
+	p.mu.Unlock()
+	f.mu.Lock()
+	if f.terminalLocked() { // canceled and detached concurrently
+		f.mu.Unlock()
+		return
+	}
+	f.finished = time.Now()
+	switch state {
+	case StateDone:
+		r := *report
+		r.Meta = exhibit.MetaFor(f.cfg)
+		f.state = StateDone
+		f.report = &r
+	case StateFailed:
+		f.state = StateFailed
+		f.err = err
+	default:
+		f.state = StateCanceled
+		f.err = errors.New("canceled with the job it had coalesced onto")
+	}
+	f.mu.Unlock()
+	f.cancel()
+	s.journalTerminal(f)
+}
+
+// cancelJob is the DELETE path: marks the cancel as user-initiated (so it
+// journals a terminal record instead of resuming on restart), detaches a
+// coalesced follower from its primary, settles a still-queued job
+// immediately, and cancels the job context either way.
+func (s *Server) cancelJob(j *job) {
+	s.mu.Lock()
+	p := j.primary
+	if p != nil {
+		kept := p.followers[:0]
+		for _, f := range p.followers {
+			if f != j {
+				kept = append(kept, f)
+			}
+		}
+		p.followers = kept
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	j.userCanceled = true
+	settle := j.state == StateQueued || (p != nil && !j.terminalLocked())
+	if settle {
+		j.state = StateCanceled
+		j.err = errors.New("canceled before start")
+		if p != nil {
+			j.err = errors.New("canceled (detached from the job it had coalesced onto)")
+		}
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	// Cancel the job context (the engine stops within one shard); a
+	// running primary then reaches finishJob through its worker. Terminal
+	// states are untouched — cancel after done just reports the status.
+	j.cancel()
+	if settle {
+		s.finishJob(j, false)
+	}
+}
+
+// persistFunc builds the checkpoint sink for one job: it accumulates the
+// latest snapshot of every engine job the exhibit has run and writes the
+// whole set atomically, so replay always sees a consistent family of
+// checkpoints. Write failures degrade durability, never the sweep.
+func (s *Server) persistFunc(j *job) func(int, *mc.Checkpoint) {
+	var mu sync.Mutex
+	latest := map[int]*mc.Checkpoint{}
+	for i, cp := range j.saved {
+		latest[i] = cp
+	}
+	return func(i int, cp *mc.Checkpoint) {
+		mu.Lock()
+		latest[i] = cp
+		snap := make(map[int]*mc.Checkpoint, len(latest))
+		for k, v := range latest {
+			snap[k] = v
+		}
+		mu.Unlock()
+		if err := s.store.saveCheckpoints(j.id, snap); err != nil {
+			s.logf("server: persisting checkpoint of %s: %v", j.id, err)
+		}
+	}
+}
+
+func (s *Server) execute(ctx context.Context, j *job) (report *exhibit.Report, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("exhibit %s panicked: %v", j.name, p)
 		}
 	}()
 	s.jobsRun.Add(1)
-	return j.ex.Run(j.ctx, j.cfg)
+	return j.ex.Run(ctx, j.cfg)
+}
+
+// recoverState rebuilds the job table and result cache from the journal
+// and returns the interrupted jobs to re-enqueue, each primed with its
+// latest persisted checkpoint. Runs during New, before any worker or
+// handler exists, so it may touch server state without s.mu.
+func (s *Server) recoverState() []*job {
+	recs := s.store.replay()
+	if len(recs) == 0 {
+		return nil
+	}
+	results := s.store.loadResults()
+	checkpoints := s.store.loadCheckpoints()
+
+	var ids []string
+	byID := map[string]*replayedJob{}
+	for _, rec := range recs {
+		if rec.Op == opSubmit {
+			if _, dup := byID[rec.ID]; !dup && rec.ID != "" {
+				byID[rec.ID] = &replayedJob{sub: rec}
+				ids = append(ids, rec.ID)
+			}
+			continue
+		}
+		if rp, ok := byID[rec.ID]; ok && rp.term == nil {
+			term := rec
+			rp.term = &term
+		}
+	}
+
+	// Restore the result cache first (in journal order, respecting the
+	// FIFO bound) so interrupted duplicates of a completed sweep can be
+	// served from it below.
+	for _, id := range ids {
+		rp := byID[id]
+		if rp.term == nil || rp.term.Op != opDone {
+			continue
+		}
+		if report, ok := results[rp.sub.Key]; ok {
+			s.storeResult(rp.sub.Key, report)
+		}
+	}
+
+	var pending []*job
+	for _, id := range ids {
+		rp := byID[id]
+		if n := seqOf(id); n > s.seq {
+			s.seq = n
+		}
+		j := s.rebuildJob(rp, checkpoints)
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if j.terminal() {
+			continue
+		}
+		if p, ok := s.inflight[j.key]; ok {
+			// Interrupted duplicate of another interrupted job: re-attach
+			// instead of re-running twice, exactly like a live coalesce.
+			j.primary = p
+			j.coalesced = true
+			j.tracker = p.tracker
+			p.followers = append(p.followers, j)
+			s.jobsCoalesced.Add(1)
+			continue
+		}
+		s.inflight[j.key] = j
+		pending = append(pending, j)
+		s.jobsRecovered.Add(1)
+	}
+	s.pruneJobsLocked()
+	if len(pending) > 0 {
+		s.logf("server: recovered %d interrupted job(s) from %s", len(pending), s.opts.StateDir)
+	}
+
+	// Compact: rewrite the journal to just the jobs still in the table,
+	// shedding pruned jobs and any torn tail.
+	var compacted []journalRecord
+	for _, id := range s.order {
+		rp := byID[id]
+		compacted = append(compacted, rp.sub)
+		if rp.term != nil {
+			compacted = append(compacted, *rp.term)
+		} else if s.jobs[id].terminal() {
+			// Terminal state decided during recovery (cache hit, dead
+			// exhibit): synthesize its record now.
+			compacted = append(compacted, s.terminalRecord(s.jobs[id]))
+		}
+	}
+	if err := s.store.rewrite(compacted); err != nil {
+		s.logf("server: journal compaction: %v", err)
+	}
+	return pending
+}
+
+// terminalRecord snapshots j's terminal state as a journal record and
+// marks it journaled.
+func (s *Server) terminalRecord(j *job) journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	op := opCanceled
+	switch j.state {
+	case StateDone:
+		op = opDone
+	case StateFailed:
+		op = opFailed
+	}
+	j.journaled = true
+	rec := journalRecord{Op: op, ID: j.id, Key: j.key, Cached: j.cached}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	return rec
+}
+
+// rebuildJob turns a replayed journal pair back into a job. Terminal jobs
+// come back for listings (done ones with their persisted report when it
+// survived); interrupted jobs come back queued, primed with their saved
+// checkpoints, unless their key is already served by the restored cache.
+func (s *Server) rebuildJob(rp *replayedJob, checkpoints map[string]map[int]*mc.Checkpoint) *job {
+	sub := rp.sub
+	tracker := &exhibit.Tracker{}
+	cfg := exhibit.NewConfig(
+		exhibit.WithQuick(sub.Quick),
+		exhibit.WithSeed(sub.Seed),
+		exhibit.WithParallel(sub.Parallel),
+		exhibit.WithTrials(sub.Trials),
+		exhibit.WithProgress(tracker),
+	)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:      sub.ID,
+		key:     sub.Key,
+		name:    sub.Name,
+		format:  sub.Format,
+		cfg:     cfg,
+		tracker: tracker,
+		ctx:     ctx,
+		cancel:  cancel,
+		created: parseTime(sub.Time),
+		subRec:  sub,
+		state:   StateQueued,
+	}
+	if rp.term != nil {
+		j.journaled = true
+		j.finished = parseTime(rp.term.Time)
+		j.started = j.created
+		j.cached = rp.term.Cached
+		switch rp.term.Op {
+		case opDone:
+			j.state = StateDone
+			j.report = s.cache[sub.Key] // nil if the result file was lost: /result answers 410
+		case opFailed:
+			j.state = StateFailed
+			j.err = errors.New(rp.term.Error)
+		default:
+			j.state = StateCanceled
+			j.err = errors.New(rp.term.Error)
+		}
+		cancel()
+		return j
+	}
+
+	// Interrupted: first check whether an identical sweep completed (the
+	// restored cache), then rebuild the runnable exhibit.
+	j.recovered = true
+	if cached, ok := s.cache[sub.Key]; ok {
+		r := *cached
+		r.Meta = exhibit.MetaFor(cfg)
+		j.state = StateDone
+		j.report = &r
+		j.cached = true
+		j.started, j.finished = j.created, time.Now()
+		s.cacheHits.Add(1)
+		cancel()
+		return j
+	}
+	var (
+		ex  exhibit.Exhibit
+		err error
+	)
+	if sub.Scenario != nil {
+		ex, err = experiments.NewScenarioExhibit(*sub.Scenario)
+	} else if reg, ok := exhibit.Lookup(sub.Exhibit); ok {
+		ex = reg
+	} else {
+		err = fmt.Errorf("exhibit %q is no longer registered", sub.Exhibit)
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = fmt.Errorf("not recoverable: %w", err)
+		j.started, j.finished = j.created, time.Now()
+		cancel()
+		return j
+	}
+	j.ex = ex
+	if cps := checkpoints[sub.ID]; len(cps) > 0 {
+		j.saved = cps
+		j.resumed = true
+	}
+	return j
+}
+
+// replayedJob pairs a job's submit record with its terminal record (nil
+// for interrupted jobs).
+type replayedJob struct {
+	sub  journalRecord
+	term *journalRecord
+}
+
+// seqOf extracts the numeric suffix of a "job-N" id, 0 when malformed.
+func seqOf(id string) uint64 {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func parseTime(s string) time.Time {
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Now()
+	}
+	return t
 }
 
 // cacheKey derives the content-addressed identity of a job's result: a

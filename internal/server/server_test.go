@@ -29,7 +29,10 @@ const bigScenario = `{"name":"big","trials":1000000}`
 
 func newTestServer(t *testing.T, opts server.Options) (*server.Server, *httptest.Server) {
 	t.Helper()
-	svc := server.New(opts)
+	svc, err := server.New(opts)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -421,7 +424,10 @@ func TestResultWhileRunningIsNotReady(t *testing.T) {
 }
 
 func TestShutdownRejectsNewJobsAndCancelsUnderDeadline(t *testing.T) {
-	svc := server.New(server.Options{Workers: 1})
+	svc, err := server.New(server.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 

@@ -43,20 +43,20 @@ func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 	// LLC backing arrays, and controller state instead of rebuilding the
 	// world; the scratch carries capacity only, so the aggregate stays
 	// bit-identical to a serial execution.
-	type rp struct{ ipc, power float64 }
+	type rp struct{ IPC, Power float64 }
 	results := mc.MapScratch(runs, cfg.Seed, mc.Options{Parallelism: parallelism, ShardSize: 1},
 		NewScratch,
 		func(_ *rand.Rand, i int, scratch *Scratch) rp {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i) + 1
 			r := RunWith(c, scratch)
-			return rp{ipc: r.IPCSum, power: r.PowerMW}
+			return rp{IPC: r.IPCSum, Power: r.PowerMW}
 		})
 	ipcs := make([]float64, runs)
 	powers := make([]float64, runs)
 	for i, r := range results {
-		ipcs[i] = r.ipc
-		powers[i] = r.power
+		ipcs[i] = r.IPC
+		powers[i] = r.Power
 	}
 	// stats.StdDev (under CI95) needs two samples; a single replica has no
 	// spread to report, so its half-widths are zero rather than a panic —

@@ -8,6 +8,11 @@
 # failure; CI runs it after the unit tests so the served path — submit,
 # status, result — stays demonstrably alive.
 #
+# Unless ARCC_SMOKE_NO_CRASH=1, it finishes by running the kill -9
+# crash-recovery leg (scripts/crash-recovery.sh), which proves a sweep
+# interrupted by SIGKILL resumes to a byte-identical report. CI runs that
+# leg as its own step instead, for a separately visible result.
+#
 # Usage: scripts/server-smoke.sh [port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,12 +26,15 @@ go build -o "$bin" ./cmd/arcc-server
 server_pid=$!
 trap 'kill "$server_pid" 2>/dev/null || true' EXIT
 
-# Wait for the server to come up.
-for _ in $(seq 1 50); do
-    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
-    sleep 0.2
+# Wait for the server to come up, failing fast if the process died (a
+# port clash or a bad flag would otherwise burn the whole poll budget).
+healthy=0
+for _ in $(seq 1 100); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then healthy=1; break; fi
+    kill -0 "$server_pid" 2>/dev/null || { echo "server process exited during startup"; exit 1; }
+    sleep 0.1
 done
-curl -fsS "$base/healthz" >/dev/null || { echo "server never became healthy"; exit 1; }
+[ "$healthy" = 1 ] || { echo "server never became healthy"; exit 1; }
 
 # The registry listing must expose the paper's exhibits.
 curl -fsS "$base/exhibits" | grep -q '"f3.1"' || { echo "registry listing missing f3.1"; exit 1; }
@@ -66,3 +74,10 @@ bad=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d '{"exhibit": "nope"}' "
 curl -fsS "$base/healthz" >/dev/null || { echo "server died after bad request"; exit 1; }
 
 echo "server smoke OK"
+
+# Crash-recovery leg: kill -9 mid-sweep, restart, byte-compare the resumed
+# report. Skipped when the caller runs it separately (CI does).
+if [ "${ARCC_SMOKE_NO_CRASH:-0}" != 1 ]; then
+    kill "$server_pid" 2>/dev/null || true
+    scripts/crash-recovery.sh "$((port + 1))"
+fi
