@@ -30,6 +30,15 @@
 // result cache, and streams reports in any registered format — a served
 // report is byte-identical to the CLI's output for the same parameters.
 //
+// The decode hot path under all of this is batched: internal/gf carries
+// bit-sliced, word-parallel GF(256) kernels (eight codeword lanes per
+// uint64), internal/rs builds batch encode/syndrome/decode entry points on
+// them with an all-clean fast path, and the controller decodes each
+// burst's codewords as one batch call. The resulting per-PR perf
+// trajectory (BENCH_PR<N>.json, recorded by scripts/bench.sh) is enforced
+// by cmd/arcc-benchcmp, which CI runs on every push and which fails on
+// >15% ns/op regressions or new steady-state allocations.
+//
 // The benchmarks in bench_test.go regenerate one table or figure each:
 //
 //	go test -bench=. -benchmem .

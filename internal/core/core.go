@@ -124,6 +124,7 @@ type ctrlScratch struct {
 	eight    *ecc.Scratch
 	stored   [4][]byte // per-channel stored sub-lines, storedLineBytes each
 	full     []byte    // widest codeword assembly buffer (72 symbols)
+	batch    []byte    // flat codeword batch for the read path (4 x 72 symbols)
 	data     []byte    // widest decoded payload (a 256 B quad)
 	page     []byte    // whole-page payload for mode transitions (4 KB)
 	posHits  [32]int   // per-position correction counts during UpgradePage
@@ -201,6 +202,7 @@ func New(cfg Config) *Controller {
 		c.scr.stored[i] = make([]byte, storedLineBytes)
 	}
 	c.scr.full = make([]byte, 72)
+	c.scr.batch = make([]byte, codewordsPerLine*72)
 	c.scr.data = make([]byte, 4*LineBytes)
 	c.scr.page = make([]byte, LinesPerPage*LineBytes)
 	return c

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"arcc/internal/ecc"
 )
 
 // This file owns the Fig. 4.1 codeword layouts.
@@ -50,19 +48,21 @@ func (c *Controller) encodeRelaxedLineInto(data, out []byte) {
 // buffer, reporting the corrected symbol count. A detected uncorrectable
 // pattern returns ErrUncorrectable with the raw (untrusted) data symbols
 // copied through for the affected codewords.
+//
+// The stored line IS a flat batch — four beat-major codewords at stride
+// 18 — so it decodes in place as one word-parallel batch (stored is the
+// controller's read scratch, never live device state) and the data symbols
+// copy straight out: corrected for repaired codewords, raw for DUEs.
 func (c *Controller) decodeRelaxedLineInto(stored, data []byte) (corrected int, err error) {
 	if len(stored) != storedLineBytes {
 		panic(fmt.Sprintf("core: relaxed decode with %d bytes, want %d", len(stored), storedLineBytes))
 	}
+	corrected, derr := c.relaxed.DecodeBatchInto(stored, 18, codewordsPerLine, c.scr.relaxed)
+	if derr != nil {
+		err = ErrUncorrectable
+	}
 	for cw := 0; cw < codewordsPerLine; cw++ {
-		res, derr := c.relaxed.DecodeInto(stored[cw*18:(cw+1)*18], c.scr.relaxed)
-		if derr != nil {
-			err = ErrUncorrectable
-			copy(data[cw*dataPerCodeword:], stored[cw*18:cw*18+dataPerCodeword])
-			continue
-		}
-		corrected += len(res.Corrected)
-		copy(data[cw*dataPerCodeword:], res.Data)
+		copy(data[cw*dataPerCodeword:], stored[cw*18:cw*18+dataPerCodeword])
 	}
 	return corrected, err
 }
@@ -98,35 +98,41 @@ func (c *Controller) encodeUpgradedPairInto(data []byte, sparedPos int, storedX,
 
 // decodeUpgradedPairInto decodes the two stored sub-lines into the 128-byte
 // data buffer, reporting the corrected symbol count.
+//
+// The four 36-symbol codewords are gathered into the controller's flat
+// batch buffer (stride 36) and decoded together: the all-clean access —
+// every read of a fault-free pair — never leaves the word-parallel
+// syndrome sweep. After the in-place batch decode each good lane's first
+// 32 symbols hold the recovered data (the sparing scheme un-remaps its
+// spare in the batch call) and DUE lanes hold the raw gathered symbols, so
+// one uniform scatter writes the data buffer either way.
 func (c *Controller) decodeUpgradedPairInto(storedX, storedY []byte, sparedPos int, data []byte) (corrected int, err error) {
 	if len(storedX) != storedLineBytes || len(storedY) != storedLineBytes {
 		panic("core: upgraded decode with wrong stored sizes")
 	}
-	full := c.scr.full[:36]
+	batch := c.scr.batch[:codewordsPerLine*36]
 	for cw := 0; cw < codewordsPerLine; cw++ {
+		full := batch[cw*36 : (cw+1)*36]
 		copy(full[0:16], storedX[cw*18:cw*18+16])
 		full[32] = storedX[cw*18+16]
 		full[33] = storedX[cw*18+17]
 		copy(full[16:32], storedY[cw*18:cw*18+16])
 		full[34] = storedY[cw*18+16]
 		full[35] = storedY[cw*18+17]
-
-		var res ecc.Result
-		var derr error
-		if c.sparing != nil {
-			res, derr = c.sparing.DecodeSparedInto(full, sparedPos, c.scr.upgraded)
-		} else {
-			res, derr = c.upgraded.DecodeInto(full, c.scr.upgraded)
-		}
-		if derr != nil {
-			err = ErrUncorrectable
-			copy(data[cw*16:], full[0:16])
-			copy(data[64+cw*16:], full[16:32])
-			continue
-		}
-		corrected += len(res.Corrected)
-		copy(data[cw*16:], res.Data[0:16])
-		copy(data[64+cw*16:], res.Data[16:32])
+	}
+	var derr error
+	if c.sparing != nil {
+		corrected, derr = c.sparing.DecodeSparedBatchInto(batch, 36, codewordsPerLine, sparedPos, c.scr.upgraded)
+	} else {
+		corrected, derr = c.upgraded.DecodeBatchInto(batch, 36, codewordsPerLine, c.scr.upgraded)
+	}
+	if derr != nil {
+		err = ErrUncorrectable
+	}
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		full := batch[cw*36 : (cw+1)*36]
+		copy(data[cw*16:], full[0:16])
+		copy(data[64+cw*16:], full[16:32])
 	}
 	return corrected, err
 }

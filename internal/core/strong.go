@@ -113,31 +113,35 @@ func (c *Controller) writeQuadStored(page, quad int, data []byte) {
 }
 
 // decodeQuadInto decodes four stored sub-lines into the 256-byte data
-// buffer, reporting the corrected symbol count.
+// buffer, reporting the corrected symbol count. Like the pair path, the
+// four 72-symbol codewords are gathered into the controller's flat batch
+// buffer (stride 72) and decoded word-parallel in one call; corrected
+// lanes then hold the repaired codeword and DUE lanes the raw gathered
+// symbols, so the data scatter is uniform.
 func (c *Controller) decodeQuadInto(stored [4][]byte, data []byte) (corrected int, err error) {
 	for ch := 0; ch < 4; ch++ {
 		if len(stored[ch]) != storedLineBytes {
 			panic("core: quad decode with wrong stored sizes")
 		}
 	}
-	full := c.scr.full[:72]
+	batch := c.scr.batch[:codewordsPerLine*72]
 	for cw := 0; cw < codewordsPerLine; cw++ {
+		full := batch[cw*72 : (cw+1)*72]
 		for ch := 0; ch < 4; ch++ {
 			copy(full[ch*16:(ch+1)*16], stored[ch][cw*18:cw*18+16])
 			full[64+2*ch] = stored[ch][cw*18+16]
 			full[64+2*ch+1] = stored[ch][cw*18+17]
 		}
-		res, derr := c.eight.DecodeInto(full, c.scr.eight)
-		if derr != nil {
-			err = ErrUncorrectable
-			for ch := 0; ch < 4; ch++ {
-				copy(data[ch*LineBytes+cw*16:], full[ch*16:(ch+1)*16])
-			}
-			continue
-		}
-		corrected += len(res.Corrected)
+	}
+	var derr error
+	corrected, derr = c.eight.DecodeBatchInto(batch, 72, codewordsPerLine, c.scr.eight)
+	if derr != nil {
+		err = ErrUncorrectable
+	}
+	for cw := 0; cw < codewordsPerLine; cw++ {
+		full := batch[cw*72 : (cw+1)*72]
 		for ch := 0; ch < 4; ch++ {
-			copy(data[ch*LineBytes+cw*16:], res.Data[ch*16:(ch+1)*16])
+			copy(data[ch*LineBytes+cw*16:], full[ch*16:(ch+1)*16])
 		}
 	}
 	return corrected, err

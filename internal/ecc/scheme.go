@@ -74,6 +74,19 @@ type Scheme interface {
 	// Result aliasing the scratch until its next use. The input is not
 	// modified. Decode is the detaching wrapper equivalent.
 	DecodeInto(cw []byte, s *Scratch) (Result, error)
+	// DecodeBatchInto decodes count codewords laid out in buf at the given
+	// stride (codeword i at buf[i*stride : i*stride+TotalSymbols]), IN
+	// PLACE, against the reusable workspace — the memory controller's burst
+	// path, where all codewords of one access decode together. On return
+	// every successfully decoded codeword's data symbols hold the recovered
+	// data at their natural positions (schemes with a non-prefix layout
+	// un-remap in place); codewords with detected-uncorrectable patterns
+	// keep their raw content. It returns the total number of symbol
+	// positions repaired across the batch, plus ErrDetected if any codeword
+	// was uncorrectable. The all-clean batch — the overwhelmingly common
+	// read — is verified word-parallel without running the scalar decoder
+	// at all, and the call performs zero heap allocations in steady state.
+	DecodeBatchInto(buf []byte, stride, count int, s *Scratch) (corrected int, err error)
 	// NewScratch allocates a decode workspace sized for this scheme.
 	NewScratch() *Scratch
 }
@@ -113,6 +126,17 @@ func (s *rsScheme) DecodeInto(cw []byte, scr *Scratch) (Result, error) {
 		return Result{}, ErrDetected
 	}
 	return Result{Data: res.Corrected[:s.code.K()], Corrected: res.ErrorPositions}, nil
+}
+
+// DecodeBatchInto implements Scheme on rs.DecodeBatchFlat: data symbols are
+// the codeword prefix, so the in-place batch correction already leaves the
+// recovered data at its natural positions.
+func (s *rsScheme) DecodeBatchInto(buf []byte, stride, count int, scr *Scratch) (int, error) {
+	res := s.code.DecodeBatchFlat(buf, stride, count, s.maxFix, scr.rs)
+	if !res.OK() {
+		return res.Corrected, ErrDetected
+	}
+	return res.Corrected, nil
 }
 
 // NewScratch implements Scheme.

@@ -169,6 +169,51 @@ func (s *DoubleChipSparing) DecodeSparedInto(cw []byte, sparedPos int, scr *Scra
 	return Result{Data: scr.data, Corrected: res.ErrorPositions}, nil
 }
 
+// DecodeBatchInto implements Scheme, batch-decoding with no spared position.
+func (s *DoubleChipSparing) DecodeBatchInto(buf []byte, stride, count int, scr *Scratch) (int, error) {
+	return s.DecodeSparedBatchInto(buf, stride, count, -1, scr)
+}
+
+// DecodeSparedBatchInto is DecodeSpared over a flat batch, in place:
+// codeword i occupies buf[i*stride : i*stride+36]. On return each good
+// codeword's first 32 symbols hold the recovered data — for spared
+// codewords the spare symbol is un-remapped back over the dead position, so
+// the lane no longer reads as a valid stored codeword — while uncorrectable
+// codewords keep their raw content (no un-remap: the raw symbols are
+// untrusted either way). Returns the total repaired-symbol count plus
+// ErrDetected if any codeword was uncorrectable. Zero heap allocations in
+// steady state; the all-clean batch never runs the scalar decoder.
+func (s *DoubleChipSparing) DecodeSparedBatchInto(buf []byte, stride, count, sparedPos int, scr *Scratch) (int, error) {
+	if sparedPos >= 32 {
+		panic(fmt.Sprintf("ecc: cannot spare non-data position %d", sparedPos))
+	}
+	var res rs.BatchResult
+	if sparedPos < 0 {
+		res = s.code.DecodeBatchFlat(buf, stride, count, 1, scr.rs)
+	} else {
+		// One erasure (the dead device) + up to one unknown error uses
+		// exactly the three check symbols: 2*1 + 1 = 3.
+		scr.erasure[0] = sparedPos
+		res = s.code.DecodeErrorsErasuresBatchFlat(buf, stride, count, scr.erasure[:], 1, scr.rs)
+		// Un-remap the good lanes: the symbol the dead device would have
+		// held lives in the spare position. res.Bad is ascending, so one
+		// cursor walks it in step with the lane loop.
+		bi := 0
+		for i := 0; i < count; i++ {
+			if bi < len(res.Bad) && res.Bad[bi] == i {
+				bi++
+				continue
+			}
+			lane := buf[i*stride:]
+			lane[sparedPos] = lane[SparePosition]
+		}
+	}
+	if !res.OK() {
+		return res.Corrected, ErrDetected
+	}
+	return res.Corrected, nil
+}
+
 // NewScratch implements Scheme.
 func (s *DoubleChipSparing) NewScratch() *Scratch {
 	return &Scratch{rs: s.code.NewScratch(), data: make([]byte, 32)}

@@ -95,6 +95,99 @@ func BenchmarkDecode2Err(b *testing.B) {
 	}
 }
 
+// The batch benchmarks below iterate b.N in codeword steps (i += lanes per
+// batch call), so their ns/op is per CODEWORD — directly comparable to the
+// scalar per-codeword benchmarks above. The headline comparison is
+// BenchmarkDecodeBatchClean vs BenchmarkDecodeScratchClean: the all-clean
+// read that dominates every exhibit and server sweep.
+
+// benchBatch builds a flat batch of `lanes` valid codewords; flips applies
+// per-lane corruption keyed by lane index.
+func benchBatch(b *testing.B, c *Code, lanes int, flips map[int][]int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, lanes*c.N())
+	for l := 0; l < lanes; l++ {
+		cw := buf[l*c.N() : (l+1)*c.N()]
+		rng.Read(cw[:c.K()])
+		c.EncodeInto(cw)
+		for i, pos := range flips[l] {
+			cw[pos] ^= byte(0x5a + i)
+		}
+	}
+	return buf
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	c := New(36, 32)
+	const lanes = 8
+	buf := benchBatch(b, c, lanes, nil)
+	b.SetBytes(int64(c.N()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lanes {
+		c.EncodeBatchFlat(buf, c.N(), lanes)
+	}
+}
+
+func BenchmarkSyndromesBatch(b *testing.B) {
+	c := New(36, 32)
+	const lanes = 8
+	buf := benchBatch(b, c, lanes, nil)
+	syn := make([]byte, lanes*c.CheckSymbols())
+	b.SetBytes(int64(c.N()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lanes {
+		c.SyndromesBatchFlat(buf, c.N(), lanes, syn)
+	}
+}
+
+func BenchmarkCheckBatch(b *testing.B) {
+	c := New(36, 32)
+	const lanes = 8
+	buf := benchBatch(b, c, lanes, nil)
+	b.SetBytes(int64(c.N()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lanes {
+		if !c.CheckBatchFlat(buf, c.N(), lanes) {
+			b.Fatal("clean batch reported dirty")
+		}
+	}
+}
+
+func benchmarkDecodeBatch(b *testing.B, lanes int, flips map[int][]int) {
+	c := New(36, 32)
+	buf := benchBatch(b, c, lanes, flips)
+	pristine := append([]byte(nil), buf...)
+	s := c.NewScratch()
+	dirty := len(flips) > 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lanes {
+		res := c.DecodeBatchFlat(buf, c.N(), lanes, c.MaxCorrectable(), s)
+		if !res.OK() {
+			b.Fatal("batch decode failed")
+		}
+		if dirty {
+			copy(buf, pristine) // restore the corrupted lanes for the next pass
+		}
+	}
+}
+
+func BenchmarkDecodeBatchClean(b *testing.B) { benchmarkDecodeBatch(b, 8, nil) }
+
+// BenchmarkDecodeBatchClean64 is the clean path at server-sweep batch
+// sizes: a whole 64-codeword burst per call.
+func BenchmarkDecodeBatchClean64(b *testing.B) { benchmarkDecodeBatch(b, 64, nil) }
+
+// BenchmarkDecodeBatch1Dirty has one 2-error lane among 8: the scalar
+// fallback cost amortised over a mostly-clean batch.
+func BenchmarkDecodeBatch1Dirty(b *testing.B) {
+	benchmarkDecodeBatch(b, 8, map[int][]int{3: {3, 17}})
+}
+
 func BenchmarkDecodeErasuresScratch(b *testing.B) {
 	c := New(36, 32)
 	cw := benchCodeword(b, c, 3, 17, 30)

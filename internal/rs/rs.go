@@ -23,6 +23,15 @@
 // NewScratch/DecodeScratch) holds every buffer a decode needs. The plain
 // Decode/DecodeErasures entry points are thin wrappers that borrow a
 // pooled Scratch and copy the result out.
+//
+// When several codewords of the same code decode together — the memory
+// controller's burst path, every exhibit's trial loop — the batch entry
+// points (EncodeBatch, SyndromesBatch, CheckBatch, DecodeBatch, and their
+// flat-stride *Flat forms; see batch.go) run the syndrome and encode
+// recurrences word-parallel on package gf's bit-sliced kernels, eight
+// codewords at a time. The all-clean batch is verified without running
+// the scalar decoder at all; only lanes with nonzero syndromes fall back
+// to DecodeScratch, one lane at a time.
 package rs
 
 import (
@@ -59,6 +68,23 @@ type Code struct {
 	// search's first query point, the locator inverse of position 0.
 	chienInit []byte
 
+	// posRoot[p] = alpha^(n-1-p), the locator of codeword position p;
+	// posRootInv[p] is its inverse and posRootRows[p] its multiplication
+	// row. Hoisted out of the per-decode loops exactly like the Chien
+	// stepping rows: the erasure-locator build, the Chien root recording,
+	// and the pure-erasure fast path (which knows its roots without a
+	// search) all index these instead of calling Exp/Inv/MulRow.
+	posRoot     []byte
+	posRootInv  []byte
+	posRootRows []*[gf.Size]byte
+
+	// synBatch[i] is the broadcast row of alpha^i and encBatch[j] the
+	// broadcast row of gen[n-k-1-j]: the word-parallel counterparts of
+	// synRows and encRows, driving the batch syndrome and encode kernels
+	// (batch.go) eight codeword lanes at a time.
+	synBatch []gf.BroadcastRow
+	encBatch []gf.BroadcastRow
+
 	// scratch pools Scratch workspaces for the allocating Decode wrappers.
 	scratch sync.Pool
 }
@@ -87,6 +113,21 @@ func New(n, k int) *Code {
 	for i := 0; i <= nk; i++ {
 		c.stepRows[i] = gf.MulRow(gf.Exp(i))
 		c.chienInit[i] = gf.Exp(-(n - 1) * i)
+	}
+	c.posRoot = make([]byte, n)
+	c.posRootInv = make([]byte, n)
+	c.posRootRows = make([]*[gf.Size]byte, n)
+	for p := 0; p < n; p++ {
+		x := gf.Exp(n - 1 - p)
+		c.posRoot[p] = x
+		c.posRootInv[p] = gf.Inv(x)
+		c.posRootRows[p] = gf.MulRow(x)
+	}
+	c.synBatch = make([]gf.BroadcastRow, nk)
+	c.encBatch = make([]gf.BroadcastRow, nk)
+	for j := 0; j < nk; j++ {
+		c.synBatch[j] = gf.MulRowBatch(gf.Exp(j))
+		c.encBatch[j] = gf.MulRowBatch(gen[nk-1-j])
 	}
 	c.scratch.New = func() any { return c.NewScratch() }
 	return c

@@ -38,6 +38,11 @@ type Scratch struct {
 	rootInv   []byte // inverse locators (the Chien query points)
 	mags      []byte // Forney magnitudes
 	positions []int  // codeword positions of found roots
+
+	// bad backs BatchResult.Bad for the batch decoders (batch.go). It
+	// grows on the first batch that reports uncorrectable lanes and is
+	// reused afterwards.
+	bad []int
 }
 
 // NewScratch allocates a decode workspace sized for the code.
@@ -59,6 +64,7 @@ func (c *Code) NewScratch() *Scratch {
 		rootInv:   make([]byte, 0, nk+2),
 		mags:      make([]byte, nk+2),
 		positions: make([]int, 0, nk+2),
+		bad:       make([]int, 0, gf.Lanes),
 	}
 }
 
@@ -145,12 +151,12 @@ func (c *Code) DecodeErrorsErasuresScratch(cw []byte, erasures []int, maxErrors 
 
 	// Erasure locator Gamma(x) = prod over erasures of (1 + X_j x), where
 	// X_j = alpha^(n-1-pos) is the locator of codeword position pos. Built
-	// in place, one multiply-accumulate sweep per erasure.
+	// in place, one multiply-accumulate sweep per erasure, off the
+	// precomputed per-position locator rows.
 	gamma := s.gamma[:1]
 	gamma[0] = 1
 	for _, pos := range erasures {
-		x := gf.Exp(c.n - 1 - pos)
-		row := gf.MulRow(x)
+		row := c.posRootRows[pos]
 		gamma = gamma[:len(gamma)+1]
 		gamma[len(gamma)-1] = 0
 		for i := len(gamma) - 1; i >= 1; i-- {
@@ -170,36 +176,56 @@ func (c *Code) DecodeErrorsErasuresScratch(cw []byte, erasures []int, maxErrors 
 	// suffix (capacity floor((nk-e)/2) unknown errors). With no unknown
 	// errors allowed, a nonzero suffix means the pattern exceeds the
 	// erasure capacity: detected, not correctable.
-	var sigma []byte
+	var positions []int
+	var roots, rootInv, locator []byte
 	if maxErrors > 0 {
-		sigma = berlekampMasseyInto(modSyn[len(erasures):], s)
+		sigma := berlekampMasseyInto(modSyn[len(erasures):], s)
 		if len(sigma)-1 > maxErrors {
 			return Result{}, ErrUncorrectable
 		}
+
+		// Combined locator Psi(x) = Sigma(x) * Gamma(x); its roots cover
+		// both unknown error positions and erased positions.
+		psi := s.psi[:len(sigma)+len(gamma)-1]
+		for i := range psi {
+			psi[i] = 0
+		}
+		for i, v := range sigma {
+			gf.MulAddSlice(psi[i:i+len(gamma)], gamma, v)
+		}
+		psi = gf.PolyTrim(psi)
+
+		positions, roots, rootInv = c.chienInto(psi, s)
+		if len(positions) != len(psi)-1 {
+			return Result{}, ErrUncorrectable
+		}
+		locator = psi
 	} else {
 		if !allZero(modSyn[len(erasures):]) {
 			return Result{}, ErrUncorrectable
 		}
-		sigma = s.bmA[:1]
-		sigma[0] = 1
+		// Pure-erasure fast path: the combined locator is Gamma itself and
+		// its roots are exactly the erased positions, so the Chien search
+		// (and Berlekamp–Massey, trivially sigma = 1) is skipped entirely.
+		// Record the positions ascending — the order the search would have
+		// found them — and read the locators and their inverses straight
+		// from the precomputed per-position tables.
+		positions = s.positions[:0]
+		for _, p := range erasures {
+			positions = append(positions, p)
+			for i := len(positions) - 1; i > 0 && positions[i-1] > positions[i]; i-- {
+				positions[i-1], positions[i] = positions[i], positions[i-1]
+			}
+		}
+		roots = s.roots[:len(positions)]
+		rootInv = s.rootInv[:len(positions)]
+		for i, p := range positions {
+			roots[i] = c.posRoot[p]
+			rootInv[i] = c.posRootInv[p]
+		}
+		locator = gamma
 	}
-
-	// Combined locator Psi(x) = Sigma(x) * Gamma(x); its roots cover both
-	// unknown error positions and erased positions.
-	psi := s.psi[:len(sigma)+len(gamma)-1]
-	for i := range psi {
-		psi[i] = 0
-	}
-	for i, v := range sigma {
-		gf.MulAddSlice(psi[i:i+len(gamma)], gamma, v)
-	}
-	psi = gf.PolyTrim(psi)
-
-	positions, roots, rootInv := c.chienInto(psi, s)
-	if len(positions) != len(psi)-1 {
-		return Result{}, ErrUncorrectable
-	}
-	mags := c.forneyInto(syn, psi, roots, rootInv, s)
+	mags := c.forneyInto(syn, locator, roots, rootInv, s)
 	for i, pos := range positions {
 		out[pos] ^= mags[i]
 	}
@@ -300,8 +326,7 @@ func (c *Code) chienInto(locator []byte, s *Scratch) (positions []int, roots, ro
 		step1 := c.stepRows[1]
 		for pos := 0; pos < c.n; pos++ {
 			if t0^t1 == 0 {
-				x := gf.Exp(c.n - 1 - pos) // locator of position pos
-				return append(positions, pos), append(roots, x), append(rootInv, gf.Inv(x))
+				return append(positions, pos), append(roots, c.posRoot[pos]), append(rootInv, c.posRootInv[pos])
 			}
 			t1 = step1[t1]
 		}
@@ -310,10 +335,9 @@ func (c *Code) chienInto(locator []byte, s *Scratch) (positions []int, roots, ro
 		step1, step2 := c.stepRows[1], c.stepRows[2]
 		for pos := 0; pos < c.n; pos++ {
 			if t0^t1^t2 == 0 {
-				x := gf.Exp(c.n - 1 - pos)
 				positions = append(positions, pos)
-				roots = append(roots, x)
-				rootInv = append(rootInv, gf.Inv(x))
+				roots = append(roots, c.posRoot[pos])
+				rootInv = append(rootInv, c.posRootInv[pos])
 				if len(positions) == 2 {
 					return positions, roots, rootInv
 				}
@@ -328,10 +352,9 @@ func (c *Code) chienInto(locator []byte, s *Scratch) (positions []int, roots, ro
 				sum ^= t
 			}
 			if sum == 0 {
-				x := gf.Exp(c.n - 1 - pos)
 				positions = append(positions, pos)
-				roots = append(roots, x)
-				rootInv = append(rootInv, gf.Inv(x))
+				roots = append(roots, c.posRoot[pos])
+				rootInv = append(rootInv, c.posRootInv[pos])
 				if len(positions) == deg {
 					return positions, roots, rootInv
 				}

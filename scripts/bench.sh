@@ -21,8 +21,11 @@ raw="${out%.json}.txt"
 
 run() { go test -run=xxx -benchmem -count=1 "$@" | tee -a "$raw"; }
 
-# GF/RS codec kernels and scratch decoding (PR 2's hot path).
-run -bench='MulAddSlice|EncodeInto|Syndromes|ChienSearch|DecodeScratch|Decode2Err|DecodeErasuresScratch' \
+# GF/RS codec kernels and scratch decoding (PR 2's hot path), plus the
+# word-parallel batch kernels (PR 8): the batch benchmarks report ns per
+# CODEWORD, so BenchmarkDecodeBatchClean vs BenchmarkDecodeScratchClean is
+# the batch speedup on the clean read that dominates every sweep.
+run -bench='MulAddSlice|EncodeInto|EncodeBatch|Syndromes|ChienSearch|DecodeScratch|Decode2Err|DecodeBatch|CheckBatch|DecodeErasuresScratch' \
     ./internal/gf/ ./internal/rs/
 # Fault-arrival sampling.
 run -bench='SampleArrivals' ./internal/faultmodel/
