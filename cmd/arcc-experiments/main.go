@@ -6,7 +6,8 @@
 //
 //	arcc-experiments [-list] [-exhibit all|name[,name...]] [-format text|json|csv]
 //	                 [-scenario file.json] [-quick] [-seed N] [-parallel N]
-//	                 [-trials N] [-progress] [-timeout dur]
+//	                 [-trials N] [-accel none|conditional|tilt:F] [-ci]
+//	                 [-progress] [-timeout dur]
 //
 // Without flags it reproduces everything at paper scale (10 000 Monte Carlo
 // channels, 1 M instructions per core), which takes a few minutes; -quick
@@ -26,6 +27,14 @@
 // channel count, and -progress reports completion counts on stderr as
 // each exhibit computes. Interrupting the run (Ctrl-C, SIGTERM) or hitting
 // -timeout cancels the context; the engine stops within one shard.
+//
+// For scenario runs, -accel selects rare-event acceleration of the
+// lifetime Monte Carlos ("conditional" requires at least one fault per
+// trial, "tilt:F" scales the fault rates by F; both weight trials by
+// their exact likelihood ratio, so estimates stay unbiased and reach a
+// target confidence interval with far fewer trials at rare fault rates)
+// and -ci reports 95% confidence intervals and effective sample sizes
+// alongside the means.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"arcc/internal/exhibit"
 	"arcc/internal/experiments"
 	"arcc/internal/mc"
+	"arcc/internal/reliability"
 )
 
 func main() {
@@ -58,6 +68,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "Monte Carlo / simulation workers (0 = all CPUs, 1 = serial)")
 	trials := flag.Int("trials", 0, "override the Monte Carlo channel count (0 = profile default)")
+	accel := flag.String("accel", "", "scenario rare-event acceleration: none, conditional, or tilt:<factor>")
+	ci := flag.Bool("ci", false, "report 95% confidence intervals and effective sample size for scenario runs")
 	progress := flag.Bool("progress", false, "report per-exhibit progress on stderr")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	flag.Parse()
@@ -71,6 +83,9 @@ func run() error {
 
 	renderer, err := exhibit.RendererFor(*format)
 	if err != nil {
+		return err
+	}
+	if _, err := reliability.ParseAccel(*accel); err != nil {
 		return err
 	}
 
@@ -91,6 +106,8 @@ func run() error {
 			exhibit.WithSeed(*seed),
 			exhibit.WithParallel(*parallel),
 			exhibit.WithTrials(*trials),
+			exhibit.WithAccel(*accel),
+			exhibit.WithCI(*ci),
 		}
 		if *progress {
 			opts = append(opts, exhibit.WithProgress(

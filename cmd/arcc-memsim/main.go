@@ -73,7 +73,7 @@ func run() error {
 			return err
 		}
 		stream := mix.Benchmarks[0].NewStream(*seed, 0)
-		if err := workload.Record(f, stream, *traceAccesses); err != nil {
+		if _, err := workload.Record(f, stream, *traceAccesses); err != nil {
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -30,6 +30,16 @@
 // result cache, and streams reports in any registered format — a served
 // report is byte-identical to the CLI's output for the same parameters.
 //
+// Lifetime sweeps can be accelerated for rare-event regimes: the fault
+// model offers conditional ("at least one fault") and rate-tilted
+// importance samplers with closed-form likelihood ratios, the engine runs
+// weighted trials (internal/mc.RunWeighted) through mergeable streaming
+// estimators (internal/stats: weighted moments, 95% CIs, Kish effective
+// sample size, a deterministic quantile sketch), and scenarios opt in via
+// accel/ci fields or the -accel/-ci flags. Weighted merges keep the
+// bit-identical-at-any-parallelism contract, and the unaccelerated path
+// reproduces the legacy estimators bit for bit, so goldens never move.
+//
 // The decode hot path under all of this is batched: internal/gf carries
 // bit-sliced, word-parallel GF(256) kernels (eight codeword lanes per
 // uint64), internal/rs builds batch encode/syndrome/decode entry points on

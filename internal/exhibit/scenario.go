@@ -8,6 +8,7 @@ import (
 
 	"arcc/internal/faultmodel"
 	"arcc/internal/lotecc"
+	"arcc/internal/reliability"
 )
 
 // Scenario is the declarative description of a user-defined sweep: the
@@ -38,6 +39,13 @@ import (
 //	                                  // "chipkill" (2x) or "lotecc" (4x)
 //	  "upgrade_factor":   0,     // explicit cost factor; overrides scheme
 //
+//	  "accel":            "none",  // rare-event acceleration of the lifetime
+//	                               // Monte Carlos: "none", "conditional"
+//	                               // (require at least one fault), or
+//	                               // "tilt:<factor>" (scale rates by factor)
+//	  "ci":               false,   // report 95% confidence intervals and
+//	                               // effective sample size
+//
 //	  "mixes":            ["Mix1", "Mix7"], // Table 7.3 names; empty = no
 //	                                        // simulator sweep
 //	  "system":           "arcc",  // or "baseline"
@@ -59,6 +67,9 @@ type Scenario struct {
 
 	Scheme        string  `json:"scheme,omitempty"`
 	UpgradeFactor float64 `json:"upgrade_factor,omitempty"`
+
+	Accel string `json:"accel,omitempty"`
+	CI    bool   `json:"ci,omitempty"`
 
 	Mixes            []string `json:"mixes,omitempty"`
 	System           string   `json:"system,omitempty"`
@@ -149,6 +160,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.System != "arcc" && s.System != "baseline" {
 		return fmt.Errorf("exhibit: scenario %q: unknown system %q (have arcc, baseline)", s.Name, s.System)
+	}
+	if _, err := reliability.ParseAccel(s.Accel); err != nil {
+		return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
 	}
 	for name := range s.FITOverrides {
 		if _, err := typeByName(name); err != nil {

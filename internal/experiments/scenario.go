@@ -25,6 +25,18 @@ type ScenarioResult struct {
 	// Overhead[y] is the worst-case average access-cost overhead through
 	// year y+1 under the scenario's upgrade factor (Fig 7.4 methodology).
 	Overhead []float64
+	// FaultyCI/OverheadCI are the per-year 95% confidence half-widths of
+	// the series above, and FaultyESS/OverheadESS the effective sample
+	// sizes of their Monte Carlos. Populated only when the scenario (or
+	// the run config) requests acceleration or confidence intervals.
+	FaultyCI    []float64 `json:",omitempty"`
+	OverheadCI  []float64 `json:",omitempty"`
+	FaultyESS   float64   `json:",omitempty"`
+	OverheadESS float64   `json:",omitempty"`
+	// OverheadQuantiles summarises the final year's per-channel overhead
+	// distribution; only plain (unweighted) sampling has meaningful raw
+	// quantiles, so accelerated runs leave it nil.
+	OverheadQuantiles *QuantileSummary `json:",omitempty"`
 	// SDCs per 1000 machine-years (closed form, Fig 6.1 methodology).
 	SDCSCCDCD, SDCARCC float64
 	// Expected DUE events per machine lifetime (§6.1 methodology).
@@ -36,6 +48,14 @@ type ScenarioResult struct {
 	// the Vs ratios normalize to the fault-free run of the same mix.
 	IPC, PowerMW             []float64
 	IPCVsClean, PowerVsClean []float64
+}
+
+// QuantileSummary is the tail summary of a per-channel distribution,
+// read off a bounded-memory quantile sketch.
+type QuantileSummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 }
 
 // NewScenarioExhibit turns a declarative scenario into a runnable
@@ -106,23 +126,61 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 	} else if cfg.Quick && trials > 1_000 {
 		trials = 1_000
 	}
-	// The report embeds the *effective* parameters — what actually ran —
-	// so a serialized scenario reproduces the numbers it carries.
-	s.Trials = trials
-	res := ScenarioResult{Scenario: s}
-
-	res.FaultyFraction, err = reliability.FaultyPageFractionCtx(ctx,
-		mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
-		rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials)
+	// The run config's acceleration spec overrides the scenario's; either
+	// source of "ci" turns interval reporting on.
+	accelSpec := s.Accel
+	if cfg.Accel != "" {
+		accelSpec = cfg.Accel
+	}
+	accel, err := reliability.ParseAccel(accelSpec)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
+	wantStats := cfg.CI || s.CI || accel.Mode != reliability.AccelNone
+	// The report embeds the *effective* parameters — what actually ran —
+	// so a serialized scenario reproduces the numbers it carries.
+	s.Trials = trials
+	s.Accel = accelSpec
+	s.CI = s.CI || cfg.CI
+	res := ScenarioResult{Scenario: s}
+
 	ov := reliability.WorstCaseOverheads(shape, factor)
-	res.Overhead, err = reliability.LifetimeOverheadCtx(ctx,
-		mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
-		rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1)
-	if err != nil {
-		return ScenarioResult{}, err
+	if wantStats {
+		// The streaming-statistics path: same samplers, same per-year
+		// series math, weighted by each trial's likelihood ratio. With
+		// accel "none" the means are bit-identical to the plain path.
+		fs, err := reliability.FaultyPageFractionStatsCtx(ctx,
+			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
+			rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials, accel)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		os, err := reliability.LifetimeOverheadStatsCtx(ctx,
+			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
+			rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1, accel)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		res.FaultyFraction, res.FaultyCI, res.FaultyESS = fs.Mean, fs.CI95, fs.ESS
+		res.Overhead, res.OverheadCI, res.OverheadESS = os.Mean, os.CI95, os.ESS
+		if sk := os.FinalSketch; sk != nil && sk.N > 0 {
+			res.OverheadQuantiles = &QuantileSummary{
+				P50: sk.Quantile(0.50), P90: sk.Quantile(0.90), P99: sk.Quantile(0.99),
+			}
+		}
+	} else {
+		res.FaultyFraction, err = reliability.FaultyPageFractionCtx(ctx,
+			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
+			rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		res.Overhead, err = reliability.LifetimeOverheadCtx(ctx,
+			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
+			rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
 	}
 
 	p := reliability.Params{
@@ -189,9 +247,23 @@ func (r ScenarioResult) Fprint(w io.Writer) {
 	}
 	fprintf(w, "channel: %d x %d-device ranks, %d banks/device, %gx field-study rates, %s upgrade cost %.0fx\n",
 		s.Ranks, s.DevicesPerRank, s.BanksPerDevice, s.RateFactor, s.Scheme, s.CostFactor())
-	fprintf(w, "\n%-6s %-16s %-16s\n", "Year", "faulty pages", "worst overhead")
-	for y := range r.FaultyFraction {
-		fprintf(w, "%-6d %14.4f%% %14.4f%%\n", y+1, r.FaultyFraction[y]*100, r.Overhead[y]*100)
+	if r.FaultyCI != nil {
+		fprintf(w, "accel: %s, effective samples: faulty %.0f, overhead %.0f (of %d trials)\n",
+			s.Accel, r.FaultyESS, r.OverheadESS, s.Trials)
+		fprintf(w, "\n%-6s %-26s %-26s\n", "Year", "faulty pages (95% CI)", "worst overhead (95% CI)")
+		for y := range r.FaultyFraction {
+			fprintf(w, "%-6d %12.4f%% ±%8.4f%% %12.4f%% ±%8.4f%%\n", y+1,
+				r.FaultyFraction[y]*100, r.FaultyCI[y]*100, r.Overhead[y]*100, r.OverheadCI[y]*100)
+		}
+		if q := r.OverheadQuantiles; q != nil {
+			fprintf(w, "final-year overhead quantiles: p50 %.4f%%, p90 %.4f%%, p99 %.4f%%\n",
+				q.P50*100, q.P90*100, q.P99*100)
+		}
+	} else {
+		fprintf(w, "\n%-6s %-16s %-16s\n", "Year", "faulty pages", "worst overhead")
+		for y := range r.FaultyFraction {
+			fprintf(w, "%-6d %14.4f%% %14.4f%%\n", y+1, r.FaultyFraction[y]*100, r.Overhead[y]*100)
+		}
 	}
 	fprintf(w, "\nSDCs per 1000 machine-years: SCCDCD DED %.3e, ARCC DED %.3e\n", r.SDCSCCDCD, r.SDCARCC)
 	fprintf(w, "expected DUEs per lifetime:  SCCDCD %.3e, SCCDCD+ARCC %.3e, chip sparing %.3e\n",
@@ -210,15 +282,33 @@ func (r ScenarioResult) Fprint(w io.Writer) {
 func (r ScenarioResult) Tables() []exhibit.Table {
 	lifetime := exhibit.Table{Name: "lifetime",
 		Columns: []string{"year", "faulty_fraction", "worst_overhead"}}
+	if r.FaultyCI != nil {
+		lifetime.Columns = append(lifetime.Columns, "faulty_ci95", "overhead_ci95")
+	}
 	for y := range r.FaultyFraction {
-		lifetime.Rows = append(lifetime.Rows, exhibit.Row(exhibit.Itoa(y+1),
-			exhibit.Ftoa(r.FaultyFraction[y]), exhibit.Ftoa(r.Overhead[y])))
+		row := exhibit.Row(exhibit.Itoa(y+1),
+			exhibit.Ftoa(r.FaultyFraction[y]), exhibit.Ftoa(r.Overhead[y]))
+		if r.FaultyCI != nil {
+			row = append(row, exhibit.Ftoa(r.FaultyCI[y]), exhibit.Ftoa(r.OverheadCI[y]))
+		}
+		lifetime.Rows = append(lifetime.Rows, row)
 	}
 	rates := exhibit.Table{Name: "rates",
 		Columns: []string{"sdc_sccdcd", "sdc_arcc", "due_sccdcd", "due_arcc", "due_sparing"},
 		Rows: [][]string{exhibit.Row(exhibit.Ftoa(r.SDCSCCDCD), exhibit.Ftoa(r.SDCARCC),
 			exhibit.Ftoa(r.DUESCCDCD), exhibit.Ftoa(r.DUEARCC), exhibit.Ftoa(r.DUESparing))}}
 	out := []exhibit.Table{lifetime, rates}
+	if r.FaultyCI != nil {
+		mcStats := exhibit.Table{Name: "mc_stats",
+			Columns: []string{"accel", "faulty_ess", "overhead_ess"},
+			Rows: [][]string{exhibit.Row(r.Scenario.Accel,
+				exhibit.Ftoa(r.FaultyESS), exhibit.Ftoa(r.OverheadESS))}}
+		if q := r.OverheadQuantiles; q != nil {
+			mcStats.Columns = append(mcStats.Columns, "overhead_p50", "overhead_p90", "overhead_p99")
+			mcStats.Rows[0] = append(mcStats.Rows[0], exhibit.Ftoa(q.P50), exhibit.Ftoa(q.P90), exhibit.Ftoa(q.P99))
+		}
+		out = append(out, mcStats)
+	}
 	if len(r.Mixes) > 0 {
 		sweep := exhibit.Table{Name: "sim_sweep",
 			Columns: []string{"mix", "ipc", "power_mw", "ipc_vs_clean", "power_vs_clean"}}

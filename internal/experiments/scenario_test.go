@@ -70,6 +70,87 @@ func TestRunScenario(t *testing.T) {
 	}
 }
 
+// TestRunScenarioStats exercises the acceleration/CI threading: plain CI
+// runs keep the legacy means bit for bit while adding intervals, ESS,
+// and tail quantiles; accelerated runs agree within their intervals and
+// carry no raw-quantile summary.
+func TestRunScenarioStats(t *testing.T) {
+	base := testScenario()
+	base.Mixes = nil // lifetime sweep only
+
+	plainCfg := exhibit.NewConfig(exhibit.WithSeed(1))
+	plain, err := RunScenario(context.Background(), plainCfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FaultyCI != nil || plain.OverheadQuantiles != nil {
+		t.Fatal("plain run carries stats it was not asked for")
+	}
+
+	ciCfg := exhibit.NewConfig(exhibit.WithSeed(1), exhibit.WithCI(true))
+	withCI, err := RunScenario(context.Background(), ciCfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range plain.FaultyFraction {
+		if withCI.FaultyFraction[y] != plain.FaultyFraction[y] || withCI.Overhead[y] != plain.Overhead[y] {
+			t.Fatalf("year %d: CI reporting changed the means (%v vs %v, %v vs %v)",
+				y+1, withCI.FaultyFraction[y], plain.FaultyFraction[y], withCI.Overhead[y], plain.Overhead[y])
+		}
+	}
+	if len(withCI.FaultyCI) != base.Years || len(withCI.OverheadCI) != base.Years {
+		t.Fatalf("CI series mis-sized: %d/%d", len(withCI.FaultyCI), len(withCI.OverheadCI))
+	}
+	if withCI.OverheadESS != float64(base.Trials) {
+		t.Fatalf("unit-weight ESS %v, want %d", withCI.OverheadESS, base.Trials)
+	}
+	if withCI.OverheadQuantiles == nil {
+		t.Fatal("plain-sampling CI run should summarise final-year quantiles")
+	}
+	if !withCI.Scenario.CI || withCI.Scenario.Accel != "" {
+		t.Fatalf("effective scenario wrong: %+v", withCI.Scenario)
+	}
+
+	accelCfg := exhibit.NewConfig(exhibit.WithSeed(1), exhibit.WithAccel("conditional"))
+	accel, err := RunScenario(context.Background(), accelCfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accel.Scenario.Accel != "conditional" {
+		t.Fatalf("effective accel %q", accel.Scenario.Accel)
+	}
+	if accel.OverheadQuantiles != nil {
+		t.Fatal("weighted run must not report raw quantiles")
+	}
+	for y := range accel.Overhead {
+		diff := accel.Overhead[y] - plain.Overhead[y]
+		if diff < 0 {
+			diff = -diff
+		}
+		tol := 4 * (accel.OverheadCI[y] + withCI.OverheadCI[y])
+		if diff > tol && diff > 1e-12 {
+			t.Fatalf("year %d: accelerated overhead %v vs plain %v (tol %v)",
+				y+1, accel.Overhead[y], plain.Overhead[y], tol)
+		}
+	}
+
+	var buf bytes.Buffer
+	withCI.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"95% CI", "effective samples", "quantiles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CI rendering missing %q:\n%s", want, out)
+		}
+	}
+	tables := withCI.Tables()
+	if len(tables) != 3 { // lifetime, rates, mc_stats
+		t.Fatalf("CI run should project 3 tables, got %d", len(tables))
+	}
+	if tables[0].Columns[len(tables[0].Columns)-1] != "overhead_ci95" {
+		t.Fatalf("lifetime table missing CI columns: %v", tables[0].Columns)
+	}
+}
+
 // TestScenarioDeterministicAtAnyParallelism extends the engine contract to
 // user-defined scenarios.
 func TestScenarioDeterministicAtAnyParallelism(t *testing.T) {

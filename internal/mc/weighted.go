@@ -1,0 +1,201 @@
+package mc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"arcc/internal/stats"
+)
+
+// Weighted jobs: Monte Carlo whose trials carry an importance-sampling
+// likelihood ratio. A trial fills a vector of per-dimension observations
+// (e.g. one faulty-page fraction per lifetime year) and returns its
+// weight against the target distribution; the engine folds every
+// dimension into a stats.Weighted estimator, so the result carries the
+// unbiased weighted mean, a confidence interval, and the effective
+// sample size — in O(Dims) memory regardless of the trial count.
+// Plain (unaccelerated) sampling is the weight-1 special case, and
+// stats.Weighted keeps its weighted sum as a plain running sum, so a
+// weights-all-one job reproduces a legacy sum-and-divide accumulator bit
+// for bit: same additions, same shard-order merge.
+
+// WeightedJob describes one weighted Monte Carlo computation.
+type WeightedJob struct {
+	// Trials is the total number of trials to run. Must be positive.
+	Trials int
+	// Seed is the base seed; shard i draws from a stream seeded with
+	// Seed ^ splitmix64(i), exactly as in Job.
+	Seed int64
+	// Dims is the length of the observation vector each trial fills.
+	// Must be positive.
+	Dims int
+	// SketchDims lists the dimensions (indexes < Dims, no duplicates)
+	// whose raw observations are additionally folded into a quantile
+	// sketch. Sketches record the unweighted values, so their quantiles
+	// are meaningful only when every trial weight is 1 — callers running
+	// accelerated (weighted) jobs should leave this empty.
+	SketchDims []int
+	// SketchK is the per-level sketch capacity (0 = stats.DefaultSketchK).
+	SketchK int
+	// NewScratch, optional, allocates a per-worker scratch workspace with
+	// the same capacity-only contract as Job.NewScratch.
+	NewScratch func() any
+	// Trial runs trial number trial (0-based, global across shards): it
+	// writes one observation per dimension into vals (zeroed by the
+	// engine before every call, len == Dims) and returns the trial's
+	// likelihood ratio against the target distribution — 1 for plain
+	// sampling. The weight must be finite and non-negative. scratch is
+	// nil when NewScratch is.
+	Trial func(rng *rand.Rand, trial int, scratch any, vals []float64) float64
+}
+
+// WeightedSet is the result of a weighted job: one estimator per
+// dimension plus the requested quantile sketches, merged across shards
+// in shard-index order. Fields are exported for gob checkpointing;
+// treat them as read-only.
+type WeightedSet struct {
+	// Dims holds one weighted estimator per observation dimension.
+	Dims []stats.Weighted
+	// SketchDims and Sketches mirror WeightedJob.SketchDims: Sketches[j]
+	// summarises dimension SketchDims[j].
+	SketchDims []int
+	Sketches   []*stats.QuantileSketch
+}
+
+// Sketch returns the quantile sketch of dimension dim, or nil when the
+// job did not request one for it.
+func (s *WeightedSet) Sketch(dim int) *stats.QuantileSketch {
+	for j, d := range s.SketchDims {
+		if d == dim {
+			return s.Sketches[j]
+		}
+	}
+	return nil
+}
+
+// Merge folds another set into the receiver, dimension by dimension.
+// Like every streaming merge the result depends on the merge order; the
+// engine always merges in shard-index order.
+func (s *WeightedSet) Merge(o *WeightedSet) {
+	if len(o.Dims) != len(s.Dims) || len(o.Sketches) != len(s.Sketches) {
+		panic("mc: merging weighted sets of different shape")
+	}
+	for i := range s.Dims {
+		s.Dims[i].Merge(o.Dims[i])
+	}
+	for j := range s.Sketches {
+		s.Sketches[j].Merge(o.Sketches[j])
+	}
+}
+
+func (s *WeightedSet) add(vals []float64, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("mc: trial weight %v is not a likelihood ratio", w))
+	}
+	for i := range s.Dims {
+		s.Dims[i].Add(vals[i], w)
+	}
+	for j, d := range s.SketchDims {
+		s.Sketches[j].Add(vals[d])
+	}
+}
+
+// RunWeighted executes the job and returns the shard-order merge of all
+// per-shard estimator sets.
+func RunWeighted(job WeightedJob, opts Options) *WeightedSet {
+	set, err := RunWeightedCtx(context.Background(), job, opts)
+	if err != nil {
+		panic(err) // a background context never cancels
+	}
+	return set
+}
+
+// RunWeightedCtx is RunWeighted under a context: a cancelled context
+// returns (nil, ErrCanceled) within one shard boundary.
+func RunWeightedCtx(ctx context.Context, job WeightedJob, opts Options) (*WeightedSet, error) {
+	if job.Dims <= 0 {
+		panic(fmt.Sprintf("mc: non-positive dimension count %d", job.Dims))
+	}
+	if job.Trial == nil {
+		panic("mc: weighted job needs Trial")
+	}
+	seen := make(map[int]bool, len(job.SketchDims))
+	for _, d := range job.SketchDims {
+		if d < 0 || d >= job.Dims {
+			panic(fmt.Sprintf("mc: sketch dimension %d outside [0, %d)", d, job.Dims))
+		}
+		if seen[d] {
+			panic(fmt.Sprintf("mc: duplicate sketch dimension %d", d))
+		}
+		seen[d] = true
+	}
+	newSet := func() *WeightedSet {
+		set := &WeightedSet{Dims: make([]stats.Weighted, job.Dims)}
+		if len(job.SketchDims) > 0 {
+			set.SketchDims = append([]int(nil), job.SketchDims...)
+			set.Sketches = make([]*stats.QuantileSketch, len(job.SketchDims))
+			for j := range set.Sketches {
+				set.Sketches[j] = stats.NewQuantileSketch(job.SketchK)
+			}
+		}
+		return set
+	}
+	acc, err := RunCtx(ctx, Job{
+		Trials: job.Trials,
+		Seed:   job.Seed,
+		NewAcc: func() Accumulator {
+			return &weightedAcc{set: newSet(), vals: make([]float64, job.Dims)}
+		},
+		NewScratch: job.NewScratch,
+		TrialScratch: func(rng *rand.Rand, trial int, a Accumulator, scratch any) {
+			wa := a.(*weightedAcc)
+			for i := range wa.vals {
+				wa.vals[i] = 0
+			}
+			w := job.Trial(rng, trial, scratch, wa.vals)
+			wa.set.add(wa.vals, w)
+		},
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return acc.(*weightedAcc).set, nil
+}
+
+// weightedAcc is the per-shard accumulator of a weighted job: the
+// estimator set plus the shard's reusable observation buffer (capacity
+// only — zeroed before every trial — so it is excluded from Merge and
+// from the checkpoint image).
+type weightedAcc struct {
+	set  *WeightedSet
+	vals []float64
+}
+
+func (a *weightedAcc) Merge(other Accumulator) {
+	a.set.Merge(other.(*weightedAcc).set)
+}
+
+// MarshalBinary makes weighted jobs checkpointable (see
+// CheckpointConfig): gob round-trips the estimator floats bit for bit.
+func (a *weightedAcc) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a.set); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a shard's estimator set from MarshalBinary
+// bytes.
+func (a *weightedAcc) UnmarshalBinary(b []byte) error {
+	set := new(WeightedSet)
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(set); err != nil {
+		return err
+	}
+	a.set = set
+	return nil
+}

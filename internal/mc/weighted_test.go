@@ -1,0 +1,257 @@
+package mc
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// legacySumAcc mirrors the sum-and-divide accumulators the plain
+// lifetime jobs use: per-dimension running sums plus a trial count,
+// merged elementwise in shard order.
+type legacySumAcc struct {
+	sums  []float64
+	count int
+}
+
+func (a *legacySumAcc) Merge(other Accumulator) {
+	o := other.(*legacySumAcc)
+	for i := range a.sums {
+		a.sums[i] += o.sums[i]
+	}
+	a.count += o.count
+}
+
+// weightedObs fills vals deterministically from the trial's rng stream,
+// the same way for both engines under test.
+func weightedObs(rng *rand.Rand, vals []float64) {
+	for i := range vals {
+		vals[i] = rng.Float64() * float64(i+1)
+	}
+}
+
+// TestRunWeightedAllOnesBitIdentical is the weights-all-one equivalence
+// property: a weighted job whose every trial returns weight 1 must
+// reproduce the legacy sum-and-divide accumulator bit for bit — same
+// additions in the same shard order, then one division.
+func TestRunWeightedAllOnesBitIdentical(t *testing.T) {
+	const dims, trials = 3, 1000
+	set := RunWeighted(WeightedJob{
+		Trials: trials,
+		Seed:   42,
+		Dims:   dims,
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			weightedObs(rng, vals)
+			return 1
+		},
+	}, Options{Parallelism: 4})
+
+	acc := Run(Job{
+		Trials: trials,
+		Seed:   42,
+		NewAcc: func() Accumulator { return &legacySumAcc{sums: make([]float64, dims)} },
+		Trial: func(rng *rand.Rand, trial int, a Accumulator) {
+			la := a.(*legacySumAcc)
+			vals := make([]float64, dims)
+			weightedObs(rng, vals)
+			for i, v := range vals {
+				la.sums[i] += v
+			}
+			la.count++
+		},
+	}, Options{Parallelism: 4}).(*legacySumAcc)
+
+	for i := 0; i < dims; i++ {
+		want := acc.sums[i] / float64(acc.count)
+		got := set.Dims[i].Mean()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("dim %d: weighted mean %v != legacy mean %v (bitwise)", i, got, want)
+		}
+		if set.Dims[i].N() != trials {
+			t.Fatalf("dim %d: N = %d, want %d", i, set.Dims[i].N(), trials)
+		}
+		if ess := set.Dims[i].ESS(); math.Abs(ess-trials) > 1e-6 {
+			t.Fatalf("dim %d: unit-weight ESS = %v, want %d", i, ess, trials)
+		}
+	}
+}
+
+// TestRunWeightedParallelismDeterminism: the full result — estimators
+// and sketches — must be identical at any worker count.
+func TestRunWeightedParallelismDeterminism(t *testing.T) {
+	job := WeightedJob{
+		Trials:     2000,
+		Seed:       7,
+		Dims:       2,
+		SketchDims: []int{1},
+		SketchK:    64,
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			weightedObs(rng, vals)
+			return 0.5 + rng.Float64()
+		},
+	}
+	base := RunWeighted(job, Options{Parallelism: 1})
+	for _, p := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := RunWeighted(job, Options{Parallelism: p})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("parallelism %d result differs from serial run", p)
+		}
+	}
+}
+
+func TestRunWeightedSketch(t *testing.T) {
+	set := RunWeighted(WeightedJob{
+		Trials:     5000,
+		Seed:       3,
+		Dims:       2,
+		SketchDims: []int{0},
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			vals[0] = rng.Float64()
+			vals[1] = rng.NormFloat64()
+			return 1
+		},
+	}, Options{})
+	sk := set.Sketch(0)
+	if sk == nil {
+		t.Fatal("requested sketch missing")
+	}
+	if set.Sketch(1) != nil {
+		t.Fatal("unrequested sketch present")
+	}
+	if sk.N != 5000 {
+		t.Fatalf("sketch N = %d, want 5000", sk.N)
+	}
+	if p50 := sk.Quantile(0.5); math.Abs(p50-0.5) > 0.05 {
+		t.Fatalf("uniform median estimate %v", p50)
+	}
+}
+
+func TestRunWeightedScratch(t *testing.T) {
+	type ws struct{ buf []float64 }
+	set := RunWeighted(WeightedJob{
+		Trials:     500,
+		Seed:       9,
+		Dims:       1,
+		NewScratch: func() any { return &ws{buf: make([]float64, 8)} },
+		Trial: func(rng *rand.Rand, trial int, scratch any, vals []float64) float64 {
+			s := scratch.(*ws)
+			for i := range s.buf {
+				s.buf[i] = rng.Float64()
+			}
+			vals[0] = s.buf[3]
+			return 1
+		},
+	}, Options{Parallelism: 4})
+	if set.Dims[0].N() != 500 {
+		t.Fatalf("N = %d", set.Dims[0].N())
+	}
+}
+
+func TestRunWeightedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunWeightedCtx(ctx, WeightedJob{
+		Trials: 100,
+		Dims:   1,
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			vals[0] = rng.Float64()
+			return 1
+		},
+	}, Options{})
+	if err != ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRunWeightedCheckpointResume: a weighted run resumed from a
+// mid-run snapshot must be bit-identical to an uninterrupted run.
+func TestRunWeightedCheckpointResume(t *testing.T) {
+	job := WeightedJob{
+		Trials:     1000,
+		Seed:       11,
+		Dims:       2,
+		SketchDims: []int{0},
+		SketchK:    32,
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			weightedObs(rng, vals)
+			return 1 + rng.Float64()
+		},
+	}
+	full := RunWeighted(job, Options{Parallelism: 1})
+
+	var snap *Checkpoint
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := RunWeightedCtx(ctx, job, Options{
+		Parallelism: 1,
+		Checkpoint: &CheckpointConfig{Sink: func(c *Checkpoint) {
+			if len(c.Shards) >= 5 {
+				snap = c
+				cancel()
+			}
+		}},
+	})
+	if err != ErrCanceled {
+		t.Fatalf("interrupted run: err = %v, want ErrCanceled", err)
+	}
+	if snap == nil || len(snap.Shards) == 0 {
+		t.Fatal("no snapshot captured before cancel")
+	}
+
+	resumed, err := RunWeightedCtx(context.Background(), job, Options{
+		Parallelism: 1,
+		Checkpoint:  &CheckpointConfig{Resume: snap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("resumed run differs from uninterrupted run")
+	}
+}
+
+func TestRunWeightedPanics(t *testing.T) {
+	ok := func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+		vals[0] = rng.Float64()
+		return 1
+	}
+	for name, f := range map[string]func(){
+		"zero dims":      func() { RunWeighted(WeightedJob{Trials: 1, Dims: 0, Trial: ok}, Options{}) },
+		"nil trial":      func() { RunWeighted(WeightedJob{Trials: 1, Dims: 1}, Options{}) },
+		"sketch dim oob": func() { RunWeighted(WeightedJob{Trials: 1, Dims: 1, SketchDims: []int{1}, Trial: ok}, Options{}) },
+		"sketch dim dup": func() { RunWeighted(WeightedJob{Trials: 1, Dims: 1, SketchDims: []int{0, 0}, Trial: ok}, Options{}) },
+		"negative weight": func() {
+			RunWeighted(WeightedJob{Trials: 1, Dims: 1, Trial: func(*rand.Rand, int, any, []float64) float64 { return -1 }}, Options{})
+		},
+		"nan weight": func() {
+			RunWeighted(WeightedJob{Trials: 1, Dims: 1, Trial: func(*rand.Rand, int, any, []float64) float64 { return math.NaN() }}, Options{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkRunWeighted(b *testing.B) {
+	job := WeightedJob{
+		Trials: 10_000,
+		Seed:   1,
+		Dims:   8,
+		Trial: func(rng *rand.Rand, trial int, _ any, vals []float64) float64 {
+			weightedObs(rng, vals)
+			return 1
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunWeighted(job, Options{Parallelism: 4})
+	}
+}

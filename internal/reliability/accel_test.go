@@ -1,0 +1,195 @@
+package reliability
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
+)
+
+func TestParseAccel(t *testing.T) {
+	for spec, want := range map[string]Accel{
+		"":            {},
+		"none":        {},
+		"conditional": {Mode: AccelConditional},
+		"tilt:8":      {Mode: AccelTilted, Tilt: 8},
+		"tilt:2.5":    {Mode: AccelTilted, Tilt: 2.5},
+	} {
+		got, err := ParseAccel(spec)
+		if err != nil || got != want {
+			t.Fatalf("ParseAccel(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+		if spec != "" {
+			back, err := ParseAccel(got.String())
+			if err != nil || back != got {
+				t.Fatalf("String round trip of %q: %v, %v", spec, back, err)
+			}
+		}
+	}
+	for _, bad := range []string{"tilt:0", "tilt:-3", "tilt:x", "tilt:", "boost", "conditional:2"} {
+		if _, err := ParseAccel(bad); err == nil {
+			t.Fatalf("ParseAccel(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStatsAccelNoneBitIdentical: with plain sampling the stats path must
+// reproduce the legacy functions bit for bit — same samplers, same series
+// math, same shard-ordered additions — at more than one parallelism.
+func TestStatsAccelNoneBitIdentical(t *testing.T) {
+	shape := faultmodel.ARCCChannelShape()
+	rates := faultmodel.FieldStudyRates().Scale(4)
+	ov := WorstCaseOverheads(shape, 2.0)
+	for _, par := range []int{1, 4} {
+		opts := mc.Options{Parallelism: par}
+		plainF := FaultyPageFraction(11, opts, rates, shape, 2, 36, 5, 700)
+		statsF, err := FaultyPageFractionStats(11, opts, rates, shape, 2, 36, 5, 700, Accel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainO := LifetimeOverhead(12, opts, rates, 2, 36, 5, 700, ov, 1.0)
+		statsO, err := LifetimeOverheadStats(12, opts, rates, 2, 36, 5, 700, ov, 1.0, Accel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < 5; y++ {
+			if math.Float64bits(statsF.Mean[y]) != math.Float64bits(plainF[y]) {
+				t.Fatalf("par %d year %d: faulty-fraction stats mean %v != plain %v", par, y+1, statsF.Mean[y], plainF[y])
+			}
+			if math.Float64bits(statsO.Mean[y]) != math.Float64bits(plainO[y]) {
+				t.Fatalf("par %d year %d: overhead stats mean %v != plain %v", par, y+1, statsO.Mean[y], plainO[y])
+			}
+		}
+		if statsO.FinalSketch == nil || statsO.FinalSketch.N != 700 {
+			t.Fatal("plain-sampling run should sketch the final year")
+		}
+		if math.Abs(statsO.ESS-700) > 1e-6 {
+			t.Fatalf("unit-weight ESS = %v, want 700", statsO.ESS)
+		}
+		if statsO.CI95[4] <= 0 {
+			t.Fatal("final-year CI should be positive")
+		}
+	}
+}
+
+// TestStatsAccelDeterministicAcrossParallelism: the full accelerated
+// result must be identical at any worker count.
+func TestStatsAccelDeterministicAcrossParallelism(t *testing.T) {
+	shape := faultmodel.ARCCChannelShape()
+	ov := WorstCaseOverheads(shape, 2.0)
+	rates := faultmodel.FieldStudyRates()
+	for _, accel := range []Accel{{Mode: AccelConditional}, {Mode: AccelTilted, Tilt: 8}} {
+		base, err := LifetimeOverheadStats(21, mc.Options{Parallelism: 1}, rates, 2, 36, 5, 900, ov, 1.0, accel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+			got, err := LifetimeOverheadStats(21, mc.Options{Parallelism: par}, rates, 2, 36, 5, 900, ov, 1.0, accel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("%v at parallelism %d differs from serial run", accel, par)
+			}
+		}
+	}
+}
+
+// TestStatsAccelEquivalence: accelerated and plain estimates of the same
+// quantity must agree within their combined confidence intervals.
+func TestStatsAccelEquivalence(t *testing.T) {
+	shape := faultmodel.ARCCChannelShape()
+	ov := WorstCaseOverheads(shape, 2.0)
+	rates := faultmodel.FieldStudyRates()
+	plain, err := LifetimeOverheadStats(31, mc.Options{}, rates, 2, 18, 7, 20000, ov, 3.0, Accel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, accel := range []Accel{{Mode: AccelConditional}, {Mode: AccelTilted, Tilt: 4}} {
+		acc, err := LifetimeOverheadStats(32, mc.Options{}, rates, 2, 18, 7, 20000, ov, 3.0, accel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < 7; y++ {
+			diff := math.Abs(acc.Mean[y] - plain.Mean[y])
+			tol := 3 * math.Sqrt(plain.CI95[y]*plain.CI95[y]+acc.CI95[y]*acc.CI95[y])
+			if diff > tol && diff > 1e-12 {
+				t.Fatalf("%v year %d: |%v - %v| = %v exceeds %v", accel, y+1, acc.Mean[y], plain.Mean[y], diff, tol)
+			}
+		}
+		if acc.FinalSketch != nil {
+			t.Fatalf("%v: weighted run must not sketch raw observations", accel)
+		}
+	}
+}
+
+// TestConditionalVarianceReduction is the acceptance criterion of the
+// acceleration work: at genuinely rare fault rates, conditional sampling
+// must reach a target CI half-width with at least 10x fewer trials than
+// plain sampling. CI half-width scales as sigma/sqrt(n), so at equal
+// trial counts the squared CI ratio is the trial-count ratio to equal
+// precision.
+func TestConditionalVarianceReduction(t *testing.T) {
+	shape := faultmodel.ARCCChannelShape()
+	ov := WorstCaseOverheads(shape, 2.0)
+	rates := faultmodel.FieldStudyRates().Scale(0.05) // P(any fault in 7y) ~ 0.7%
+	const channels = 4000
+	plain, err := LifetimeOverheadStats(41, mc.Options{}, rates, 2, 18, 7, channels, ov, 3.0, Accel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := LifetimeOverheadStats(42, mc.Options{}, rates, 2, 18, 7, channels, ov, 3.0, Accel{Mode: AccelConditional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := 6 // final year
+	if plain.CI95[y] == 0 {
+		t.Fatal("plain run saw no faults at all; cannot compare variances")
+	}
+	gain := (plain.CI95[y] / cond.CI95[y]) * (plain.CI95[y] / cond.CI95[y])
+	if gain < 10 {
+		t.Fatalf("conditional acceleration gains only %.1fx (plain CI %v, conditional CI %v)", gain, plain.CI95[y], cond.CI95[y])
+	}
+	t.Logf("conditional acceleration: %.0fx fewer trials to equal CI (plain CI %.3g, conditional CI %.3g)",
+		gain, plain.CI95[y], cond.CI95[y])
+}
+
+func TestConditionalZeroRateIsError(t *testing.T) {
+	shape := faultmodel.ARCCChannelShape()
+	_, err := FaultyPageFractionStats(1, mc.Options{}, faultmodel.Rates{}, shape, 2, 36, 5, 100, Accel{Mode: AccelConditional})
+	if err == nil {
+		t.Fatal("conditioning on an impossible event should be an error")
+	}
+}
+
+func TestAccelValidate(t *testing.T) {
+	for _, bad := range []Accel{
+		{Mode: AccelTilted},
+		{Mode: AccelTilted, Tilt: -1},
+		{Mode: AccelTilted, Tilt: math.Inf(1)},
+		{Mode: AccelMode(99)},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("%+v validated", bad)
+		}
+	}
+}
+
+// BenchmarkLifetimeOverheadStatsConditional measures the accelerated
+// estimator at rare field rates; compare against
+// BenchmarkLifetimeOverheadSerial for the per-trial cost and against
+// TestConditionalVarianceReduction for the trials-to-precision gain.
+func BenchmarkLifetimeOverheadStatsConditional(b *testing.B) {
+	shape := faultmodel.ARCCChannelShape()
+	ov := WorstCaseOverheads(shape, 2.0)
+	rates := faultmodel.FieldStudyRates().Scale(0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LifetimeOverheadStats(1, mc.Options{Parallelism: 1}, rates, 2, 18, 7, 2000, ov, 3.0, Accel{Mode: AccelConditional}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

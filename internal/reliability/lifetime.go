@@ -54,19 +54,82 @@ func (a *yearSums) UnmarshalBinary(b []byte) error {
 }
 
 // arrivalScratch is the per-shard workspace of the lifetime Monte Carlos:
-// one fault-arrival buffer, reused by every trial of a shard. The buffer
-// only carries capacity between trials — SampleArrivalsInto overwrites it
-// from scratch — so reuse cannot leak state across trials.
+// one fault-arrival buffer plus one per-year series buffer, reused by
+// every trial of a shard. Both only carry capacity between trials —
+// SampleArrivalsInto overwrites the arrival buffer from scratch and the
+// series helpers overwrite every year slot — so reuse cannot leak state
+// across trials.
 type arrivalScratch struct {
-	buf []faultmodel.Arrival
+	buf    []faultmodel.Arrival
+	series []float64
 }
 
 // newArrivalScratch sizes the per-shard buffer for the channel geometry so
-// the steady state samples without reallocating.
-func newArrivalScratch(rates faultmodel.Rates, ranks, devicesPerRank int, years float64) func() any {
+// the steady state samples without reallocating. tiltHint scales the
+// arrival capacity for rate-tilted sampling (1 for plain sampling).
+func newArrivalScratch(rates faultmodel.Rates, ranks, devicesPerRank int, years float64, tiltHint float64) func() any {
 	hint := faultmodel.ArrivalCapHint(rates, ranks, devicesPerRank, years)
+	if tiltHint > 1 {
+		hint = int(float64(hint) * tiltHint)
+	}
+	yearBuf := int(years)
 	return func() any {
-		return &arrivalScratch{buf: make([]faultmodel.Arrival, 0, hint)}
+		return &arrivalScratch{
+			buf:    make([]faultmodel.Arrival, 0, hint),
+			series: make([]float64, yearBuf),
+		}
+	}
+}
+
+// faultyPageSeries writes one channel's per-year faulty-page fraction
+// into series (len == years): the union bound over the faults that have
+// arrived by the end of each year, capped at 1. Fault spans are large and
+// disjointness dominates at these counts, so the cap only binds for
+// multi-fault channels with lane faults.
+func faultyPageSeries(arrivals []faultmodel.Arrival, shape faultmodel.ChannelShape, years int, series []float64) {
+	idx := 0
+	frac := 0.0
+	for y := 1; y <= years; y++ {
+		limit := float64(y) * faultmodel.HoursPerYear
+		for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+			frac += shape.UpgradedFraction(arrivals[idx].Type)
+			idx++
+		}
+		if frac > 1 {
+			series[y-1] = 1
+		} else {
+			series[y-1] = frac
+		}
+	}
+}
+
+// overheadSeries writes one channel's per-year time-averaged overhead
+// into series (len == years): the overhead step function — additive per
+// fault from its arrival onward, capped at cap — integrated from
+// power-on through the end of each year and divided by the elapsed
+// hours.
+func overheadSeries(arrivals []faultmodel.Arrival, overhead OverheadByType, cap float64, years int, series []float64) {
+	integrated := 0.0 // overhead-hours accumulated so far
+	current := 0.0
+	lastT := 0.0
+	idx := 0
+	for y := 1; y <= years; y++ {
+		limit := float64(y) * faultmodel.HoursPerYear
+		for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
+			arr := arrivals[idx]
+			integrated += current * (arr.AtHours - lastT)
+			lastT = arr.AtHours
+			if ov, ok := overhead[arr.Type]; ok {
+				current += ov
+				if current > cap {
+					current = cap
+				}
+			}
+			idx++
+		}
+		integrated += current * (limit - lastT)
+		lastT = limit
+		series[y-1] = integrated / limit
 	}
 }
 
@@ -98,28 +161,15 @@ func FaultyPageFractionCtx(ctx context.Context, seed int64, opts mc.Options, rat
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
-		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years)),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), 1),
 		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
 			scratch := sc.(*arrivalScratch)
 			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
 			scratch.buf = arrivals
-			// Union bound capped at 1: fault spans are large and disjointness
-			// dominates at these counts, so the cap only binds for multi-fault
-			// channels with lane faults.
-			idx := 0
-			frac := 0.0
-			for y := 1; y <= years; y++ {
-				limit := float64(y) * faultmodel.HoursPerYear
-				for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
-					frac += shape.UpgradedFraction(arrivals[idx].Type)
-					idx++
-				}
-				if frac > 1 {
-					sums[y-1] += 1
-				} else {
-					sums[y-1] += frac
-				}
+			faultyPageSeries(arrivals, shape, years, scratch.series)
+			for i, v := range scratch.series {
+				sums[i] += v
 			}
 		},
 	}, opts)
@@ -167,34 +217,15 @@ func LifetimeOverheadCtx(ctx context.Context, seed int64, opts mc.Options, rates
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
-		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years)),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), 1),
 		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
 			scratch := sc.(*arrivalScratch)
 			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
 			scratch.buf = arrivals
-			// Build the overhead step function and integrate it.
-			integrated := 0.0 // overhead-hours accumulated so far
-			current := 0.0
-			lastT := 0.0
-			idx := 0
-			for y := 1; y <= years; y++ {
-				limit := float64(y) * faultmodel.HoursPerYear
-				for idx < len(arrivals) && arrivals[idx].AtHours <= limit {
-					arr := arrivals[idx]
-					integrated += current * (arr.AtHours - lastT)
-					lastT = arr.AtHours
-					if ov, ok := overhead[arr.Type]; ok {
-						current += ov
-						if current > cap {
-							current = cap
-						}
-					}
-					idx++
-				}
-				integrated += current * (limit - lastT)
-				lastT = limit
-				sums[y-1] += integrated / limit
+			overheadSeries(arrivals, overhead, cap, years, scratch.series)
+			for i, v := range scratch.series {
+				sums[i] += v
 			}
 		},
 	}, opts)

@@ -180,7 +180,7 @@ func SimulateARCCDEDCtx(ctx context.Context, seed int64, opts mc.Options, p Para
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     func() mc.Accumulator { return &eventCount{} },
-		NewScratch: newArrivalScratch(p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears),
+		NewScratch: newArrivalScratch(p.Rates, p.RanksPerChannel, p.DevicesPerRank, p.LifeYears, 1),
 		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			ec := a.(*eventCount)
 			scratch := sc.(*arrivalScratch)

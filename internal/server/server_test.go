@@ -24,8 +24,11 @@ import (
 const tinyScenario = `{"name":"tiny","ranks":1,"years":2,"trials":64}`
 
 // bigScenario is a sweep long enough to cancel mid-run: a million
-// channels over 7 years.
-const bigScenario = `{"name":"big","trials":1000000}`
+// channels over 7 years. The inflated rate factor makes every channel
+// sample dozens of arrivals, so the job cannot finish before the test
+// gets its cancel/coalesce/crash in — at field rates a million mostly
+// empty channels complete in well under a second on a fast machine.
+const bigScenario = `{"name":"big","trials":1000000,"rate_factor":500}`
 
 func newTestServer(t *testing.T, opts server.Options) (*server.Server, *httptest.Server) {
 	t.Helper()
@@ -197,6 +200,63 @@ func TestExhibitJobRoundTrip(t *testing.T) {
 	}
 	if report.Exhibit != "t7.1" || report.Meta.Seed != 1 {
 		t.Fatalf("unexpected report header: %+v", report)
+	}
+}
+
+// TestScenarioAccelCIInResult: a scenario asking for rare-event
+// acceleration and confidence intervals gets both back in the JSON
+// result, and its cache identity is distinct from the plain sweep's.
+func TestScenarioAccelCIInResult(t *testing.T) {
+	svc, ts := newTestServer(t, server.Options{Workers: 1})
+
+	const accelScenario = `{"name":"tiny","ranks":1,"years":2,"trials":64,"accel":"conditional","ci":true}`
+	_, plain := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": 5}`, tinyScenario))
+	waitState(t, ts, plain.ID, server.StateDone)
+	_, accel := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": 5}`, accelScenario))
+	waitState(t, ts, accel.ID, server.StateDone)
+	if m := svc.Metrics(); m.JobsRun != 2 || m.CacheHits != 0 {
+		t.Fatalf("accel scenario must not share the plain sweep's cache entry: %+v", m)
+	}
+
+	_, body := get(t, ts.URL+"/v1/jobs/"+accel.ID+"/result")
+	var report struct {
+		Data struct {
+			Scenario struct {
+				Accel string `json:"accel"`
+				CI    bool   `json:"ci"`
+			} `json:"Scenario"`
+			FaultyFraction []float64
+			FaultyCI       []float64
+			OverheadCI     []float64
+			OverheadESS    float64
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("result not JSON: %v\n%s", err, body)
+	}
+	d := report.Data
+	if d.Scenario.Accel != "conditional" || !d.Scenario.CI {
+		t.Fatalf("effective scenario lost the accel/ci request: %+v", d.Scenario)
+	}
+	if len(d.FaultyCI) != len(d.FaultyFraction) || len(d.OverheadCI) != len(d.FaultyFraction) {
+		t.Fatalf("CI series missing or mis-sized: %d faulty, %d faulty CI, %d overhead CI",
+			len(d.FaultyFraction), len(d.FaultyCI), len(d.OverheadCI))
+	}
+	if d.OverheadESS <= 0 || d.OverheadESS > 64 {
+		t.Fatalf("ESS %v outside (0, trials]", d.OverheadESS)
+	}
+
+	_, pbody := get(t, ts.URL+"/v1/jobs/"+plain.ID+"/result")
+	var preport struct {
+		Data struct {
+			FaultyCI []float64
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(pbody, &preport); err != nil {
+		t.Fatalf("plain result not JSON: %v", err)
+	}
+	if preport.Data.FaultyCI != nil {
+		t.Fatal("plain sweep should not carry CI series")
 	}
 }
 

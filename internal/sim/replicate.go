@@ -58,18 +58,14 @@ func RunReplicatedParallel(cfg Config, runs, parallelism int) Replication {
 		ipcs[i] = r.IPC
 		powers[i] = r.Power
 	}
-	// stats.StdDev (under CI95) needs two samples; a single replica has no
-	// spread to report, so its half-widths are zero rather than a panic —
-	// runs == 1 arrives from user input (an HTTP job, a CLI flag), not
-	// from a harness bug.
-	rep := Replication{
+	// stats.CI95 reports a zero half-width for a single replica — one
+	// sample has no spread — so runs == 1 (user input: an HTTP job, a CLI
+	// flag) needs no special case here.
+	return Replication{
 		Runs:      runs,
 		IPCMean:   stats.Mean(ipcs),
 		PowerMean: stats.Mean(powers),
+		IPCCI95:   stats.CI95(ipcs),
+		PowerCI95: stats.CI95(powers),
 	}
-	if runs >= 2 {
-		rep.IPCCI95 = stats.CI95(ipcs)
-		rep.PowerCI95 = stats.CI95(powers)
-	}
-	return rep
 }

@@ -37,10 +37,16 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// StdDev returns the sample standard deviation (n-1 denominator).
+// StdDev returns the sample standard deviation (n-1 denominator). A
+// single sample carries no spread information, so its deviation is zero —
+// the same contract sim.RunReplicated gives a single replica. Only an
+// empty slice is a harness bug and panics.
 func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
-		panic("stats: standard deviation needs at least two samples")
+	if len(xs) == 0 {
+		panic("stats: standard deviation of empty slice")
+	}
+	if len(xs) == 1 {
+		return 0
 	}
 	m := Mean(xs)
 	var ss float64
@@ -52,7 +58,8 @@ func StdDev(xs []float64) float64 {
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean
-// under the normal approximation (1.96 * stderr).
+// under the normal approximation (1.96 * stderr). Like StdDev it reports
+// a zero half-width for a single sample and panics only on empty input.
 func CI95(xs []float64) float64 {
 	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
 }

@@ -96,7 +96,7 @@ func TestPanics(t *testing.T) {
 		"mean empty":     func() { Mean(nil) },
 		"geomean empty":  func() { GeoMean(nil) },
 		"geomean nonpos": func() { GeoMean([]float64{1, 0}) },
-		"stddev one":     func() { StdDev([]float64{1}) },
+		"stddev empty":   func() { StdDev(nil) },
 		"norm zero":      func() { Normalize([]float64{1}, 0) },
 		"minmax empty":   func() { MinMax(nil) },
 	} {

@@ -94,26 +94,43 @@ func (t *TraceReader) Next() (Access, error) {
 		return Access{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
 	}
 	t.count++
+	// Decode the gap through int64: on 32-bit platforms int(uint32) can
+	// overflow into a negative gap, which the stream contract forbids.
+	gap := int64(binary.LittleEndian.Uint32(rec[8:12]))
+	if gap > int64(maxInt) {
+		return Access{}, fmt.Errorf("%w: gap %d exceeds the platform int range", ErrBadTrace, gap)
+	}
 	return Access{
 		Line:  binary.LittleEndian.Uint64(rec[0:8]),
-		Gap:   int(binary.LittleEndian.Uint32(rec[8:12])),
+		Gap:   int(gap),
 		Write: rec[12]&1 != 0,
 	}, nil
 }
 
+// maxInt is the largest value an int holds on this platform (2^31-1 on
+// 32-bit targets, where a trace gap above it cannot be represented).
+const maxInt = int(^uint(0) >> 1)
+
 // Count returns the number of records read so far.
 func (t *TraceReader) Count() int64 { return t.count }
 
-// Record captures n accesses from a stream into w.
-func Record(w io.Writer, s *Stream, n int) error {
+// Record captures n accesses from a stream into w. It returns the
+// number of records accepted; when a mid-stream write fails it flushes
+// the records accepted before the failure — so w holds a valid trace
+// prefix rather than losing a buffer's worth of tail — and returns the
+// count alongside the error.
+func Record(w io.Writer, s *Stream, n int) (int64, error) {
 	tw, err := NewTraceWriter(w)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i := 0; i < n; i++ {
 		if err := tw.Write(s.Next()); err != nil {
-			return err
+			// Best-effort flush of the accepted records; the write error
+			// is the root cause, so it wins over any flush error.
+			tw.Flush()
+			return tw.Count(), err
 		}
 	}
-	return tw.Flush()
+	return tw.Count(), tw.Flush()
 }

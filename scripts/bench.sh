@@ -27,8 +27,15 @@ run() { go test -run=xxx -benchmem -count=1 "$@" | tee -a "$raw"; }
 # the batch speedup on the clean read that dominates every sweep.
 run -bench='MulAddSlice|EncodeInto|EncodeBatch|Syndromes|ChienSearch|DecodeScratch|Decode2Err|DecodeBatch|CheckBatch|DecodeErasuresScratch' \
     ./internal/gf/ ./internal/rs/
-# Fault-arrival sampling.
+# Fault-arrival sampling, including the conditional ("at least one
+# fault") and rate-tilted importance samplers (PR 9).
 run -bench='SampleArrivals' ./internal/faultmodel/
+# Streaming estimators and the weighted MC path (PR 9): per-observation
+# accumulator costs, the weighted engine overhead, and the conditional
+# rare-event lifetime sweep end to end.
+run -bench='WelfordAdd|WeightedAdd|QuantileSketch' ./internal/stats/
+run -bench='RunWeighted' ./internal/mc/
+run -bench='LifetimeOverheadStatsConditional' ./internal/reliability/
 # Scheme-level scratch decode paths (the functional data path's per-access
 # work) and the full-system simulator steady state (PR 3's hot path).
 run -bench='DecodeInto|DecodeLegacy' ./internal/ecc/
