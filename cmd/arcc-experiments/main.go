@@ -5,9 +5,9 @@
 // Usage:
 //
 //	arcc-experiments [-list] [-exhibit all|name[,name...]] [-format text|json|csv]
-//	                 [-scenario file.json] [-quick] [-seed N] [-parallel N]
-//	                 [-trials N] [-accel none|conditional|tilt:F] [-ci]
-//	                 [-progress] [-timeout dur]
+//	                 [-scenario file.json] [-trace file.trc] [-quick] [-seed N]
+//	                 [-parallel N] [-trials N] [-accel none|conditional|tilt:F]
+//	                 [-ci] [-progress] [-timeout dur]
 //
 // Without flags it reproduces everything at paper scale (10 000 Monte Carlo
 // channels, 1 M instructions per core), which takes a few minutes; -quick
@@ -18,7 +18,9 @@
 // paper's layout, byte-identical to the golden files), json (structured
 // reports with typed rows; several exhibits form a JSON array), or csv.
 // -scenario runs a declarative sweep loaded from a JSON file (see the
-// exhibit.Scenario schema) instead of the registered exhibits.
+// exhibit.Scenario schema) instead of the registered exhibits; -trace
+// overrides the scenario's trace field, replaying the named trace file on
+// all four simulated cores as an extra "trace" row of the simulator sweep.
 //
 // The Monte Carlo sweeps and per-mix simulator runs fan out across the
 // sharded engine (internal/mc): -parallel sets the worker count (0 = all
@@ -64,6 +66,7 @@ func run() error {
 	name := flag.String("exhibit", "all", "which exhibit(s) to regenerate: all, or comma-separated names (see -list)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	scenario := flag.String("scenario", "", "run a declarative scenario from this JSON file instead of registered exhibits")
+	trace := flag.String("trace", "", "with -scenario: replay this trace file (workload trace format) in the scenario's simulator sweep, overriding its trace field")
 	quick := flag.Bool("quick", false, "reduced simulation volume")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "Monte Carlo / simulation workers (0 = all CPUs, 1 = serial)")
@@ -122,12 +125,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *trace != "" {
+			sc.Trace = *trace
+		}
 		ex, err := experiments.NewScenarioExhibit(sc)
 		if err != nil {
 			return err
 		}
 		exhibits = []exhibit.Exhibit{ex}
 	} else {
+		if *trace != "" {
+			return fmt.Errorf("-trace requires -scenario (the trace drives the scenario's simulator sweep)")
+		}
 		exhibits, err = selectExhibits(*name)
 		if err != nil {
 			return err

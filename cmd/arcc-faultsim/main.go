@@ -8,6 +8,7 @@
 //
 //	arcc-faultsim [-years 7] [-trials 10000] [-factor 1] [-scrub 4]
 //	              [-ranks 2] [-devices 36] [-scheme chipkill|lotecc]
+//	              [-dram ddr2|ddr4|ddr5] [-width 4|8|16] [-trace file.trc]
 //	              [-seed 1] [-parallel 0] [-progress] [-format text|json|csv]
 //
 // The command is a thin front end over the declarative scenario layer: the
@@ -18,6 +19,11 @@
 // count (0 = all CPUs, 1 = serial) and does not change the numbers —
 // output is bit-identical at any parallelism for a given seed. -progress
 // reports trial completion on stderr, and Ctrl-C cancels within one shard.
+//
+// -trace additionally replays a recorded access trace (the workload trace
+// format arcc-memsim can record) through the full-system simulator as a
+// "trace" row of the report's simulator sweep; -dram and -width select the
+// memory generation and ARCC device width that simulator models.
 package main
 
 import (
@@ -49,6 +55,9 @@ func run() error {
 	ranks := flag.Int("ranks", 2, "ranks per channel")
 	devices := flag.Int("devices", 36, "devices per rank")
 	scheme := flag.String("scheme", "chipkill", "upgraded-access cost model: chipkill (2x) or lotecc (4x)")
+	dramGen := flag.String("dram", "", "simulator memory generation for -trace runs: ddr2, ddr4, or ddr5")
+	width := flag.Int("width", 0, "ARCC device width in bits for -trace runs: 4, 8, or 16 (0 = 8)")
+	trace := flag.String("trace", "", "replay this trace file (workload trace format) through the full-system simulator alongside the Monte Carlo")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "Monte Carlo workers (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "report Monte Carlo progress on stderr")
@@ -70,6 +79,9 @@ func run() error {
 	s.Trials = n
 	s.ScrubHours = *scrub
 	s.Scheme = *scheme
+	s.DRAM = *dramGen
+	s.Width = *width
+	s.Trace = *trace
 	if err := s.Validate(); err != nil {
 		return err
 	}

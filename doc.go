@@ -49,6 +49,19 @@
 // by cmd/arcc-benchcmp, which CI runs on every push and which fails on
 // >15% ns/op regressions or new steady-state allocations.
 //
+// The functional memory under the controller is sparse: internal/pagedmem
+// is a page-granular memory core in which only touched pages are
+// materialised, holes read as zero, and scrub-verified all-zero pages are
+// released back to holes — so terabyte-scale systems cost host memory
+// proportional to their touched footprint. On top of it the scenario
+// layer grew declarative axes: DDR4/DDR5 geometries and device widths
+// (dram/width), correlated row-adjacent and bank-burst fault clustering
+// with exact per-burst likelihoods that compose with the importance
+// samplers (burst), multi-tenant interference mixes on private or shared
+// LLCs (tenants/shared_llc/llc_bytes), and trace-file replay through a
+// first-class workload source (trace, recorded by arcc-memsim
+// -dump-trace). Example scenarios live under examples/scenarios/.
+//
 // The benchmarks in bench_test.go regenerate one table or figure each:
 //
 //	go test -bench=. -benchmem .

@@ -167,7 +167,10 @@ func (c *Controller) writePairStored(page, pair int, data []byte) {
 }
 
 func (c *Controller) sparedPosOf(page int) int {
-	return int(c.sparedPos[page])
+	if pos, ok := c.sparedPos[page]; ok {
+		return int(pos)
+	}
+	return -1
 }
 
 func (c *Controller) noteOutcome(corrected int, err error) {

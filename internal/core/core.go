@@ -102,9 +102,11 @@ type Controller struct {
 	sparing      *ecc.DoubleChipSparing // non-nil iff cfg.Upgrade == UpgradeSparing
 
 	// sparedPos[page] is the codeword position remapped to the spare for
-	// sparing-mode upgraded pages, or -1 for none. Dense (one int32 per
-	// page) because every upgraded access consults it.
-	sparedPos []int32
+	// sparing-mode upgraded pages; pages absent from the map have no spare
+	// remap. Sparse (only spared pages are present) so a terabyte-scale
+	// controller costs nothing for its healthy pages; map reads are
+	// allocation-free, which keeps the upgraded access path zero-alloc.
+	sparedPos map[int]int32
 
 	// scr is the controller's decode/line workspace: one ECC scratch per
 	// scheme plus the stored-line, codeword-assembly, payload, and
@@ -172,10 +174,7 @@ func New(cfg Config) *Controller {
 		table:        pagetable.New(cfg.Pages),
 		relaxed:      ecc.NewRelaxed(),
 		eight:        ecc.NewEightCheck(),
-		sparedPos:    make([]int32, cfg.Pages),
-	}
-	for i := range c.sparedPos {
-		c.sparedPos[i] = -1
+		sparedPos:    make(map[int]int32),
 	}
 	switch cfg.Upgrade {
 	case UpgradeSCCDCD:
@@ -241,6 +240,61 @@ func (c *Controller) Rank(channel, rank int) *dram.Rank {
 // injecting the same device fault into all ranks of the channel.
 func (c *Controller) InjectFault(channel, rank int, f dram.Fault) {
 	c.Rank(channel, rank).InjectFault(f)
+}
+
+// ResidentPages sums the materialised backing-store pages of every rank —
+// the controller's host-memory footprint in 4 KB units, proportional to
+// the lines actually written rather than the addressable capacity.
+func (c *Controller) ResidentPages() int {
+	n := 0
+	for _, ranks := range c.channels {
+		for _, r := range ranks {
+			n += r.ResidentPages()
+		}
+	}
+	return n
+}
+
+// ResidentBytes sums the host memory held by every rank's backing store.
+func (c *Controller) ResidentBytes() int64 {
+	var n int64
+	for _, ranks := range c.channels {
+		for _, r := range ranks {
+			n += r.ResidentBytes()
+		}
+	}
+	return n
+}
+
+// CompactZeroStorage releases every backing-store page whose content has
+// returned to all zero (scrub-verified-zero release) and returns the
+// number of pages released. The scrubber calls it after each full pass so
+// pattern-tested-but-untouched memory does not stay resident.
+func (c *Controller) CompactZeroStorage() int {
+	n := 0
+	for _, ranks := range c.channels {
+		for _, r := range ranks {
+			n += r.CompactZero()
+		}
+	}
+	return n
+}
+
+// RelaxAllPristine performs the boot-time relax of a *pristine* memory in
+// O(1): every code in use is linear, so the all-zero payload encodes to
+// the all-zero codeword under every mode — never-touched (hole) lines are
+// simultaneously valid in relaxed, upgraded, and upgraded8 form, and no
+// re-encode pass is needed. This is what makes booting a terabyte-scale
+// controller feasible; a memory that has been written must go through
+// RelaxAll or a scrub instead, and RelaxAllPristine panics if any storage
+// is resident after zero-compaction.
+func (c *Controller) RelaxAllPristine() {
+	c.CompactZeroStorage()
+	if n := c.ResidentPages(); n > 0 {
+		panic(fmt.Sprintf("core: RelaxAllPristine on a written memory (%d resident pages); use RelaxAll or a scrub", n))
+	}
+	c.table.RelaxAll()
+	clear(c.sparedPos)
 }
 
 // addrOf maps (page, slot) to the rank index and in-rank address for one

@@ -165,7 +165,7 @@ func (c *Controller) UpgradePageToStrong(page int) error {
 		}
 	}
 	c.table.SetMode(page, pagetable.Upgraded8)
-	c.sparedPos[page] = -1
+	delete(c.sparedPos, page)
 	c.stats.StrongUpgrades++
 
 	for quad := 0; quad < LinesPerPage/4; quad++ {

@@ -108,7 +108,7 @@ func (c *Controller) RelaxPage(page int) error {
 		}
 	}
 	c.table.SetMode(page, pagetable.Relaxed)
-	c.sparedPos[page] = -1
+	delete(c.sparedPos, page)
 	for line := 0; line < LinesPerPage; line++ {
 		ch, slot := c.channelOf(line)
 		rank, addr := c.addrOf(page, slot)

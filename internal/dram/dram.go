@@ -11,7 +11,12 @@
 // this package is purely functional storage plus corruption.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+
+	"arcc/internal/pagedmem"
+)
 
 // Geometry describes one rank's organisation. The ARCC evaluation uses
 // 18-device x8 ranks (relaxed channel) and 36-device x4 lockstep ranks
@@ -42,25 +47,73 @@ func (g Geometry) validate(a Addr) {
 	}
 }
 
+// flat returns the line index of a within the rank. Every operand is
+// explicitly widened to uint64 before multiplying; NewRank rejects
+// geometries whose TotalBytes overflow, so for a validated address the
+// arithmetic here cannot wrap.
 func (g Geometry) flat(a Addr) uint64 {
 	return (uint64(a.Bank)*uint64(g.RowsPerBank)+uint64(a.Row))*uint64(g.ColsPerRow) + uint64(a.Col)
 }
 
-// Rank is a group of devices accessed together. The backing store is sparse:
-// unwritten lines read as zero (a freshly-initialised, scrubbed memory).
-type Rank struct {
-	geom   Geometry
-	store  map[uint64][]byte
-	faults []Fault
+// TotalLines returns the number of addressable lines in the geometry, or
+// an error when banks*rows*cols overflows uint64.
+func (g Geometry) TotalLines() (uint64, error) {
+	hi, lines := bits.Mul64(uint64(g.BanksPerDevice), uint64(g.RowsPerBank))
+	if hi != 0 {
+		return 0, fmt.Errorf("dram: geometry %+v overflows: %d banks x %d rows", g, g.BanksPerDevice, g.RowsPerBank)
+	}
+	hi, lines = bits.Mul64(lines, uint64(g.ColsPerRow))
+	if hi != 0 {
+		return 0, fmt.Errorf("dram: geometry %+v overflows: line count exceeds 2^64", g)
+	}
+	return lines, nil
 }
 
-// NewRank constructs an empty rank.
+// TotalBytes returns the stored capacity of the geometry in bytes
+// (TotalLines * LineBytes), or an error when the flat byte address space
+// overflows uint64 — the guard that makes flat-address arithmetic safe now
+// that terabyte-and-beyond geometries are expressible.
+func (g Geometry) TotalBytes() (uint64, error) {
+	lines, err := g.TotalLines()
+	if err != nil {
+		return 0, err
+	}
+	hi, bytes := bits.Mul64(lines, uint64(g.LineBytes()))
+	if hi != 0 {
+		return 0, fmt.Errorf("dram: geometry %+v overflows: byte address space exceeds 2^64", g)
+	}
+	return bytes, nil
+}
+
+// rankPageBytes is the page size of a rank's sparse backing store. 4 KiB
+// matches the OS page the paper's per-page modes are defined over; a
+// 72-byte stored line occasionally straddles two backing pages, which the
+// pagedmem span loop handles.
+const rankPageBytes = 4096
+
+// Rank is a group of devices accessed together. The backing store is a
+// sparse paged memory: unwritten lines read as zero (a freshly-initialised,
+// scrubbed memory), and host memory is proportional to the pages actually
+// written, not the addressable capacity — a rank can span terabytes.
+type Rank struct {
+	geom      Geometry
+	lineBytes uint64 // cached Geometry.LineBytes()
+	mem       *pagedmem.Memory
+	faults    []Fault
+}
+
+// NewRank constructs an empty rank. Geometries whose flat byte address
+// space overflows uint64 are rejected, so all later address arithmetic is
+// exact.
 func NewRank(g Geometry) *Rank {
 	if g.DevicesPerRank <= 0 || g.BanksPerDevice <= 0 || g.RowsPerBank <= 0 ||
 		g.ColsPerRow <= 0 || g.BeatsPerLine <= 0 {
 		panic(fmt.Sprintf("dram: invalid geometry %+v", g))
 	}
-	return &Rank{geom: g, store: make(map[uint64][]byte)}
+	if _, err := g.TotalBytes(); err != nil {
+		panic(err.Error())
+	}
+	return &Rank{geom: g, lineBytes: uint64(g.LineBytes()), mem: pagedmem.New(rankPageBytes)}
 }
 
 // Geometry returns the rank's geometry.
@@ -68,21 +121,15 @@ func (r *Rank) Geometry() Geometry { return r.geom }
 
 // WriteLine stores a line. The data length must equal Geometry().LineBytes().
 // Writes are recorded faithfully; corruption happens on read, which is how
-// stuck-at faults hide until the cell is read back. Rewriting a line reuses
-// its stored buffer, so steady-state writes do not allocate.
+// stuck-at faults hide until the cell is read back. Steady-state writes to
+// already-materialised pages do not allocate, and all-zero writes over
+// never-touched memory materialise nothing.
 func (r *Rank) WriteLine(a Addr, data []byte) {
 	r.geom.validate(a)
 	if len(data) != r.geom.LineBytes() {
 		panic(fmt.Sprintf("dram: WriteLine with %d bytes, want %d", len(data), r.geom.LineBytes()))
 	}
-	key := r.geom.flat(a)
-	if buf, ok := r.store[key]; ok {
-		copy(buf, data)
-		return
-	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	r.store[key] = buf
+	r.mem.StoreFrom(r.geom.flat(a)*r.lineBytes, data)
 }
 
 // ReadLine fetches a line with all applicable fault corruption applied.
@@ -99,11 +146,7 @@ func (r *Rank) ReadLineInto(a Addr, out []byte) []byte {
 	if len(out) != r.geom.LineBytes() {
 		panic(fmt.Sprintf("dram: ReadLineInto with %d bytes, want %d", len(out), r.geom.LineBytes()))
 	}
-	if stored, ok := r.store[r.geom.flat(a)]; ok {
-		copy(out, stored)
-	} else {
-		clear(out)
-	}
+	r.mem.LoadInto(r.geom.flat(a)*r.lineBytes, out)
 	for i := range r.faults {
 		r.faults[i].corrupt(r, a, out)
 	}
@@ -115,9 +158,7 @@ func (r *Rank) ReadLineInto(a Addr, out []byte) []byte {
 func (r *Rank) ReadLineRaw(a Addr) []byte {
 	r.geom.validate(a)
 	out := make([]byte, r.geom.LineBytes())
-	if stored, ok := r.store[r.geom.flat(a)]; ok {
-		copy(out, stored)
-	}
+	r.mem.LoadInto(r.geom.flat(a)*r.lineBytes, out)
 	return out
 }
 
@@ -134,5 +175,12 @@ func (r *Rank) ClearFaults() { r.faults = nil }
 // Faults returns the injected fault overlays.
 func (r *Rank) Faults() []Fault { return r.faults }
 
-// LinesStored reports how many distinct lines have been written (test aid).
-func (r *Rank) LinesStored() int { return len(r.store) }
+// ResidentPages reports how many backing-store pages are materialised.
+func (r *Rank) ResidentPages() int { return r.mem.ResidentPages() }
+
+// ResidentBytes reports the host memory held by the rank's backing store.
+func (r *Rank) ResidentBytes() int64 { return r.mem.ResidentBytes() }
+
+// CompactZero releases backing pages whose content has returned to all
+// zero (scrub-verified-zero release) and reports how many were released.
+func (r *Rank) CompactZero() int { return r.mem.CompactZero() }

@@ -1,0 +1,111 @@
+package dram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Generation names a DRAM technology generation. The functional ECC layout
+// (72-byte stored lines, four codewords per line) is generation-agnostic;
+// what changes per generation is the device organisation — devices per ECC
+// access, bank-group structure, burst length — and the timing/power models
+// in packages memctrl and power that consume it.
+type Generation int
+
+const (
+	// DDR2 is the paper's evaluated technology (Table 7.1: 667 MT/s,
+	// 512 Mb devices, 8 flat banks, BL4).
+	DDR2 Generation = iota
+	// DDR4 introduces 4 bank groups x 4 banks and BL8; same-group
+	// back-to-back column accesses pay tCCD_L instead of tCCD_S.
+	DDR4
+	// DDR5 splits each DIMM into independent subchannels with 8 bank
+	// groups x 4 banks and BL16; an ECC subchannel is 40 bits wide.
+	DDR5
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string {
+	switch g {
+	case DDR2:
+		return "ddr2"
+	case DDR4:
+		return "ddr4"
+	case DDR5:
+		return "ddr5"
+	}
+	return fmt.Sprintf("Generation(%d)", int(g))
+}
+
+// ParseGeneration parses "ddr2", "ddr4", or "ddr5" (case-insensitive).
+func ParseGeneration(s string) (Generation, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "ddr2":
+		return DDR2, nil
+	case "ddr4":
+		return DDR4, nil
+	case "ddr5":
+		return DDR5, nil
+	}
+	return 0, fmt.Errorf("dram: unknown generation %q (want ddr2, ddr4, or ddr5)", s)
+}
+
+// Org describes one rank organisation of a generation/device-width pair:
+// how many devices serve one ECC access, how the banks are grouped, and
+// how many bus clocks one line transfer occupies.
+type Org struct {
+	Generation Generation
+	// Width is the device data width in bits: 4, 8, or 16.
+	Width int
+	// DevicesPerRank is the number of devices a relaxed-mode ECC access
+	// touches (the 72-bit DDR2/DDR4 ECC bus or the 40-bit DDR5 ECC
+	// subchannel divided by the device width, rounded up).
+	DevicesPerRank int
+	// BankGroups and BanksPerGroup shape the bank hierarchy; DDR2 has one
+	// flat group.
+	BankGroups    int
+	BanksPerGroup int
+	// BurstClocks is the number of bus clocks one line burst occupies
+	// (burst length / 2, data moving on both edges).
+	BurstClocks int
+}
+
+// Banks returns the total banks per device.
+func (o Org) Banks() int { return o.BankGroups * o.BanksPerGroup }
+
+// orgs is the supported generation/width table. DevicesPerRank follows the
+// ECC-bus arithmetic of each generation's access unit. DDR2 rows use the
+// paper's ganged 144-bit channel (Table 7.1: two 72-bit halves accessed
+// together — x4: 36, x8: 18, x16: 9). DDR4 rows use the standard 72-bit
+// ECC DIMM bus (x4: 18, x8: 9, x16: 5 with one lane half-used). DDR5 rows
+// use the 40-bit ECC subchannel (x4: 10, x8: 5, x16: 3).
+var orgs = map[Generation]map[int]Org{
+	DDR2: {
+		4:  {DDR2, 4, 36, 1, 8, 2},
+		8:  {DDR2, 8, 18, 1, 8, 2},
+		16: {DDR2, 16, 9, 1, 8, 2},
+	},
+	DDR4: {
+		4:  {DDR4, 4, 18, 4, 4, 4},
+		8:  {DDR4, 8, 9, 4, 4, 4},
+		16: {DDR4, 16, 5, 4, 4, 4},
+	},
+	DDR5: {
+		4:  {DDR5, 4, 10, 8, 4, 8},
+		8:  {DDR5, 8, 5, 8, 4, 8},
+		16: {DDR5, 16, 3, 8, 4, 8},
+	},
+}
+
+// OrgFor returns the organisation of a generation/device-width pair.
+func OrgFor(gen Generation, width int) (Org, error) {
+	byWidth, ok := orgs[gen]
+	if !ok {
+		return Org{}, fmt.Errorf("dram: unknown generation %v", gen)
+	}
+	o, ok := byWidth[width]
+	if !ok {
+		return Org{}, fmt.Errorf("dram: %v has no x%d organisation (want x4, x8, or x16)", gen, width)
+	}
+	return o, nil
+}

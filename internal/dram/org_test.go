@@ -1,0 +1,61 @@
+package dram
+
+import "testing"
+
+func TestParseGeneration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Generation
+		ok   bool
+	}{
+		{"", DDR2, true},
+		{"ddr2", DDR2, true},
+		{"DDR4", DDR4, true},
+		{" ddr5 ", DDR5, true},
+		{"ddr3", 0, false},
+		{"lpddr5", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseGeneration(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseGeneration(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseGeneration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOrgTable(t *testing.T) {
+	cases := []struct {
+		gen     Generation
+		width   int
+		devices int
+		banks   int
+		clocks  int
+	}{
+		{DDR2, 8, 18, 8, 2},
+		{DDR2, 4, 36, 8, 2},
+		{DDR4, 8, 9, 16, 4},
+		{DDR4, 4, 18, 16, 4},
+		{DDR5, 8, 5, 32, 8},
+		{DDR5, 16, 3, 32, 8},
+	}
+	for _, c := range cases {
+		o, err := OrgFor(c.gen, c.width)
+		if err != nil {
+			t.Fatalf("OrgFor(%v, x%d): %v", c.gen, c.width, err)
+		}
+		if o.DevicesPerRank != c.devices || o.Banks() != c.banks || o.BurstClocks != c.clocks {
+			t.Errorf("OrgFor(%v, x%d) = %+v, want devices %d banks %d clocks %d",
+				c.gen, c.width, o, c.devices, c.banks, c.clocks)
+		}
+	}
+	if _, err := OrgFor(DDR5, 32); err == nil {
+		t.Error("OrgFor(DDR5, x32) accepted an unsupported width")
+	}
+	if _, err := OrgFor(Generation(99), 8); err == nil {
+		t.Error("OrgFor(unknown, x8) accepted an unknown generation")
+	}
+}

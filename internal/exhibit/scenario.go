@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
 
+	"arcc/internal/dram"
 	"arcc/internal/faultmodel"
 	"arcc/internal/lotecc"
 	"arcc/internal/reliability"
+	"arcc/internal/workload"
 )
 
 // Scenario is the declarative description of a user-defined sweep: the
@@ -46,12 +49,41 @@ import (
 //	  "ci":               false,   // report 95% confidence intervals and
 //	                               // effective sample size
 //
+//	  "burst":            {        // correlated fault bursts (omit for the
+//	                               // independent-arrival model)
+//	    "row_prob": 0.3,           // chance a row fault is an adjacent-row burst
+//	    "row_mean": 4, "row_max": 16,  // truncated-geometric burst size
+//	    "bank_prob": 0.1,          // chance a column fault bursts in its bank
+//	    "bank_mean": 3, "bank_max": 8
+//	  },
+//
 //	  "mixes":            ["Mix1", "Mix7"], // Table 7.3 names; empty = no
 //	                                        // simulator sweep
 //	  "system":           "arcc",  // or "baseline"
 //	  "upgraded_fraction": 0.25,   // fraction of pages upgraded in sim runs
-//	  "instructions":     0        // per core; 0 = profile default
+//	  "instructions":     0,       // per core; 0 = profile default
+//
+//	  "dram":             "ddr2",  // simulator memory generation: ddr2
+//	                               // (paper's calibrated config), ddr4, ddr5
+//	  "width":            8,       // ARCC device width (bits): 4, 8, or 16
+//
+//	  "tenants": [                 // multi-tenant interference mix: 1-4
+//	                               // tenants mapped round-robin onto the four
+//	                               // cores; adds a "tenants" simulator run
+//	    {"benchmark": "mcf2006", "footprint_lines": 16777216},
+//	    {"benchmark": "swim"}
+//	  ],
+//	  "shared_llc":       false,   // one shared LLC instead of four private
+//	  "llc_bytes":        0,       // LLC capacity (0 = 1 MB; power of two)
+//
+//	  "trace":            ""       // trace file (workload.TraceWriter format)
+//	                               // replayed on all four cores; adds a
+//	                               // "trace" simulator run
 //	}
+//
+// The dram/width/tenants/shared_llc/llc_bytes/trace axes shape the
+// full-system simulator runs only; the reliability Monte Carlos keep using
+// the explicit ranks/devices_per_rank/banks_per_device channel geometry.
 type Scenario struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
@@ -71,10 +103,21 @@ type Scenario struct {
 	Accel string `json:"accel,omitempty"`
 	CI    bool   `json:"ci,omitempty"`
 
+	Burst *faultmodel.Burst `json:"burst,omitempty"`
+
 	Mixes            []string `json:"mixes,omitempty"`
 	System           string   `json:"system,omitempty"`
 	UpgradedFraction float64  `json:"upgraded_fraction,omitempty"`
 	Instructions     int64    `json:"instructions,omitempty"`
+
+	DRAM  string `json:"dram,omitempty"`
+	Width int    `json:"width,omitempty"`
+
+	Tenants   []workload.Tenant `json:"tenants,omitempty"`
+	SharedLLC bool              `json:"shared_llc,omitempty"`
+	LLCBytes  int               `json:"llc_bytes,omitempty"`
+
+	Trace string `json:"trace,omitempty"`
 }
 
 // DefaultScenario returns the baseline the JSON overlays: the evaluated
@@ -169,7 +212,52 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
 		}
 	}
+	if s.Burst != nil {
+		if err := s.Burst.Validate(); err != nil {
+			return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
+		}
+	}
+	gen, err := dram.ParseGeneration(s.DRAM)
+	if err != nil {
+		return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
+	}
+	switch s.Width {
+	case 0:
+	case 4, 8, 16:
+		if gen == dram.DDR2 && s.Width != 8 {
+			return fmt.Errorf("exhibit: scenario %q: the DDR2 simulator models only x8 ARCC ranks, not x%d", s.Name, s.Width)
+		}
+	default:
+		return fmt.Errorf("exhibit: scenario %q: device width %d (want 4, 8, or 16)", s.Name, s.Width)
+	}
+	if len(s.Tenants) > 0 {
+		if _, err := workload.TenantBenchmarks(s.Tenants); err != nil {
+			return fmt.Errorf("exhibit: scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.LLCBytes != 0 && (s.LLCBytes < 2048 || bits.OnesCount(uint(s.LLCBytes)) != 1) {
+		return fmt.Errorf("exhibit: scenario %q: llc_bytes %d must be a power of two >= 2048", s.Name, s.LLCBytes)
+	}
 	return nil
+}
+
+// BurstOrZero returns the scenario's correlated-burst model, or the zero
+// (independent-arrival) model when the field is omitted.
+func (s Scenario) BurstOrZero() faultmodel.Burst {
+	if s.Burst == nil {
+		return faultmodel.Burst{}
+	}
+	return *s.Burst
+}
+
+// Generation returns the simulator memory generation the dram field names
+// ("" means the paper's DDR2).
+func (s Scenario) Generation() dram.Generation {
+	gen, err := dram.ParseGeneration(s.DRAM)
+	if err != nil {
+		panic(err) // Validate rejects unknown generations first
+	}
+	return gen
 }
 
 // Rates resolves the scenario's fault mix: field-study FIT rates scaled by

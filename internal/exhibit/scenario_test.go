@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"arcc/internal/dram"
 	"arcc/internal/faultmodel"
 )
 
@@ -59,6 +60,60 @@ func TestParseScenarioRejects(t *testing.T) {
 		"sub-1 upgrade":   `{"name":"x", "upgrade_factor": 0.5}`,
 		"not json":        `{"name":`,
 		"trailing junk":   `{"name":"x"} "trials": 500`,
+	}
+	for label, raw := range cases {
+		if _, err := ParseScenario(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted %s", label, raw)
+		}
+	}
+}
+
+func TestParseScenarioNewAxes(t *testing.T) {
+	s, err := ParseScenario(strings.NewReader(`{
+		"name": "axes",
+		"dram": "ddr5",
+		"width": 16,
+		"tenants": [{"benchmark": "mcf2006", "footprint_lines": 12288}],
+		"shared_llc": true,
+		"llc_bytes": 2097152,
+		"trace": "some.trc",
+		"burst": {"row_prob": 0.5, "row_mean": 4, "row_max": 16}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != dram.DDR5 || s.Width != 16 || !s.SharedLLC || s.LLCBytes != 2097152 {
+		t.Fatalf("axes not decoded: %+v", s)
+	}
+	if len(s.Tenants) != 1 || s.Tenants[0].Benchmark != "mcf2006" {
+		t.Fatalf("tenants not decoded: %+v", s.Tenants)
+	}
+	if s.Trace != "some.trc" {
+		t.Fatalf("trace not decoded: %q", s.Trace)
+	}
+	b := s.BurstOrZero()
+	if b.RowProb != 0.5 || b.RowMean != 4 || b.RowMax != 16 {
+		t.Fatalf("burst not decoded: %+v", b)
+	}
+	// The zero value keeps the legacy DDR2 path and a zero burst.
+	d := DefaultScenario()
+	if d.Generation() != dram.DDR2 || !d.BurstOrZero().IsZero() {
+		t.Fatalf("defaults changed: gen %v burst %+v", d.Generation(), d.BurstOrZero())
+	}
+}
+
+func TestParseScenarioRejectsNewAxes(t *testing.T) {
+	cases := map[string]string{
+		"bad generation":  `{"name":"x", "dram": "ddr6"}`,
+		"bad width":       `{"name":"x", "dram": "ddr4", "width": 12}`,
+		"ddr2 narrow":     `{"name":"x", "width": 4}`,
+		"unknown tenant":  `{"name":"x", "tenants": [{"benchmark": "nope"}]}`,
+		"negative lines":  `{"name":"x", "tenants": [{"benchmark": "mesa", "footprint_lines": -1}]}`,
+		"llc not pow2":    `{"name":"x", "llc_bytes": 3000000}`,
+		"llc too small":   `{"name":"x", "llc_bytes": 1024}`,
+		"bad burst prob":  `{"name":"x", "burst": {"row_prob": 2}}`,
+		"bad burst max":   `{"name":"x", "burst": {"row_prob": 0.5, "row_mean": 4, "row_max": 1}}`,
+		"bad burst field": `{"name":"x", "burst": {"row_probability": 0.5}}`,
 	}
 	for label, raw := range cases {
 		if _, err := ParseScenario(strings.NewReader(raw)); err == nil {

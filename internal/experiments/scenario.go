@@ -41,8 +41,9 @@ type ScenarioResult struct {
 	SDCSCCDCD, SDCARCC float64
 	// Expected DUE events per machine lifetime (§6.1 methodology).
 	DUESCCDCD, DUEARCC, DUESparing float64
-	// Simulator sweep, one entry per scenario mix; nil when the scenario
-	// names no mixes.
+	// Simulator sweep labels, one per run: the scenario's mix names, plus
+	// "tenants" for its multi-tenant interference run and "trace" for its
+	// trace-replay run. Nil when the scenario requests no simulator runs.
 	Mixes []string
 	// IPC and PowerMW are the runs at the scenario's upgraded fraction;
 	// the Vs ratios normalize to the fault-free run of the same mix.
@@ -145,19 +146,20 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 	res := ScenarioResult{Scenario: s}
 
 	ov := reliability.WorstCaseOverheads(shape, factor)
+	burst := s.BurstOrZero()
 	if wantStats {
 		// The streaming-statistics path: same samplers, same per-year
 		// series math, weighted by each trial's likelihood ratio. With
 		// accel "none" the means are bit-identical to the plain path.
-		fs, err := reliability.FaultyPageFractionStatsCtx(ctx,
+		fs, err := reliability.FaultyPageFractionStatsBurstCtx(ctx,
 			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
-			rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials, accel)
+			rates, burst, shape, s.Ranks, s.DevicesPerRank, s.Years, trials, accel)
 		if err != nil {
 			return ScenarioResult{}, err
 		}
-		os, err := reliability.LifetimeOverheadStatsCtx(ctx,
+		os, err := reliability.LifetimeOverheadStatsBurstCtx(ctx,
 			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
-			rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1, accel)
+			rates, burst, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1, accel)
 		if err != nil {
 			return ScenarioResult{}, err
 		}
@@ -169,15 +171,15 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 			}
 		}
 	} else {
-		res.FaultyFraction, err = reliability.FaultyPageFractionCtx(ctx,
+		res.FaultyFraction, err = reliability.FaultyPageFractionBurstCtx(ctx,
 			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario), cfg.MCOptions(),
-			rates, shape, s.Ranks, s.DevicesPerRank, s.Years, trials)
+			rates, burst, shape, s.Ranks, s.DevicesPerRank, s.Years, trials)
 		if err != nil {
 			return ScenarioResult{}, err
 		}
-		res.Overhead, err = reliability.LifetimeOverheadCtx(ctx,
+		res.Overhead, err = reliability.LifetimeOverheadBurstCtx(ctx,
 			mc.DeriveSeed(cfg.SeedOrDefault(), tagScenario+1), cfg.MCOptions(),
-			rates, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1)
+			rates, burst, s.Ranks, s.DevicesPerRank, s.Years, trials, ov, factor-1)
 		if err != nil {
 			return ScenarioResult{}, err
 		}
@@ -197,30 +199,69 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 	res.DUEARCC = reliability.ARCCExpectedDUEs(p)
 	res.DUESparing = reliability.SparingExpectedDUEs(p)
 
-	if len(mixes) == 0 {
+	// The simulator sweep is a labeled run list: one run per named mix,
+	// plus a "tenants" run when the scenario declares a multi-tenant
+	// interference mix and a "trace" run when it replays a trace file.
+	// Every run shares the scenario's memory-generation, shared-LLC, and
+	// LLC-capacity axes.
+	type simRun struct {
+		label   string
+		mix     workload.Mix
+		tenants []workload.Tenant
+		trace   *workload.TraceSource
+	}
+	runs := make([]simRun, 0, len(mixes)+2)
+	for _, m := range mixes {
+		runs = append(runs, simRun{label: m.Name, mix: m})
+	}
+	if len(s.Tenants) > 0 {
+		// The mix slot is a placeholder; Tenants overrides its benchmarks.
+		runs = append(runs, simRun{label: "tenants", mix: workload.Mixes()[0], tenants: s.Tenants})
+	}
+	if s.Trace != "" {
+		src, err := workload.LoadTraceFile(s.Trace)
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("experiments: scenario %q: %w", s.Name, err)
+		}
+		runs = append(runs, simRun{label: "trace", mix: workload.Mixes()[0], trace: src})
+	}
+	if len(runs) == 0 {
 		return res, nil
 	}
 	system := sim.ARCC
 	if s.System == "baseline" {
 		system = sim.Baseline
 	}
+	tech := sim.Tech{Generation: s.Generation(), Width: s.Width}
 	instr := s.Instructions
 	if instr == 0 {
 		instr = instructions(cfg)
 		s.Instructions = instr
 		res.Scenario = s
 	}
-	// Per mix: a fault-free reference run and the scenario run, fanned
-	// out across the engine's workers (one simulator run per shard).
+	// Per run: a fault-free reference and the scenario run, fanned out
+	// across the engine's workers (one simulator run per shard).
 	// Exported fields: the pair must gob-encode for shard checkpointing.
 	type pair struct{ Clean, Faulted sim.Result }
-	pairs, err := mc.MapScratchCtx(ctx, len(mixes), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
+	pairs, err := mc.MapScratchCtx(ctx, len(runs), cfg.SeedOrDefault(), cfg.SimOptions(), sim.NewScratch,
 		func(_ *rand.Rand, i int, scratch *sim.Scratch) pair {
 			run := func(upgraded float64) sim.Result {
-				c := sim.DefaultConfig(mixes[i], system)
+				c := sim.DefaultConfig(runs[i].mix, system)
 				c.InstructionsPerCore = instr
 				c.UpgradedFraction = upgraded
 				c.Seed = cfg.SeedOrDefault()
+				c.Tech = tech
+				c.CPUCyclesPerDRAMCycle = tech.CPR()
+				c.SharedLLC = s.SharedLLC
+				if s.LLCBytes > 0 {
+					c.LLCBytes = s.LLCBytes
+				}
+				c.Tenants = runs[i].tenants
+				if runs[i].trace != nil {
+					for core := range c.Sources {
+						c.Sources[core] = runs[i].trace.Clone()
+					}
+				}
 				return sim.RunWith(c, scratch)
 			}
 			return pair{Clean: run(0), Faulted: run(s.UpgradedFraction)}
@@ -228,8 +269,8 @@ func RunScenario(ctx context.Context, cfg exhibit.Config, s exhibit.Scenario) (S
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	for i, m := range mixes {
-		res.Mixes = append(res.Mixes, m.Name)
+	for i, r := range runs {
+		res.Mixes = append(res.Mixes, r.label)
 		res.IPC = append(res.IPC, pairs[i].Faulted.IPCSum)
 		res.PowerMW = append(res.PowerMW, pairs[i].Faulted.PowerMW)
 		res.IPCVsClean = append(res.IPCVsClean, pairs[i].Faulted.IPCSum/pairs[i].Clean.IPCSum)

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"arcc/internal/exhibit"
+	"arcc/internal/faultmodel"
 	"arcc/internal/mc"
+	"arcc/internal/workload"
 )
 
 func testScenario() exhibit.Scenario {
@@ -148,6 +152,97 @@ func TestRunScenarioStats(t *testing.T) {
 	}
 	if tables[0].Columns[len(tables[0].Columns)-1] != "overhead_ci95" {
 		t.Fatalf("lifetime table missing CI columns: %v", tables[0].Columns)
+	}
+}
+
+// TestRunScenarioNewAxes drives every PR-10 scenario axis at once: DDR5
+// geometry, correlated bursts, a multi-tenant mix on a shared LLC, and a
+// trace-replay row — all declared on the Scenario, no code.
+func TestRunScenarioNewAxes(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "core0.trc")
+	f, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.ByName("mesa").NewStream(7, 0)
+	if _, err := workload.Record(f, stream, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := exhibit.DefaultScenario()
+	s.Name = "axes-sweep"
+	s.Description = "every new axis at once"
+	s.RateFactor = 3
+	s.Trials = 400
+	s.Mixes = []string{"Mix1"}
+	s.DRAM = "ddr5"
+	s.Width = 8
+	s.Burst = &faultmodel.Burst{RowProb: 0.5, RowMean: 4, RowMax: 16}
+	s.Tenants = []workload.Tenant{{Benchmark: "mcf2006", FootprintLines: 12288}}
+	s.SharedLLC = true
+	s.LLCBytes = 1 << 21
+	s.Trace = trace
+
+	cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithSeed(1))
+	r, err := RunScenario(context.Background(), cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Mix1", "tenants", "trace"}
+	if len(r.Mixes) != len(want) {
+		t.Fatalf("sim sweep rows %v, want %v", r.Mixes, want)
+	}
+	for i, label := range want {
+		if r.Mixes[i] != label {
+			t.Fatalf("sim sweep rows %v, want %v", r.Mixes, want)
+		}
+		if r.IPC[i] <= 0 || r.PowerMW[i] <= 0 {
+			t.Fatalf("row %s: non-positive sim results", label)
+		}
+	}
+
+	// The burst axis must raise the faulty-page fraction over the same
+	// scenario without it (same seed, same trials).
+	noBurst := s
+	noBurst.Burst = nil
+	noBurst.Mixes = nil
+	noBurst.Tenants = nil
+	noBurst.Trace = ""
+	plain, err := RunScenario(context.Background(), cfg, noBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := len(plain.FaultyFraction) - 1
+	if r.FaultyFraction[final] <= plain.FaultyFraction[final] {
+		t.Fatalf("burst axis did not raise faulty fraction: %v <= %v",
+			r.FaultyFraction[final], plain.FaultyFraction[final])
+	}
+
+	// And the whole thing stays bit-identical across parallelism.
+	render := func(parallel int) string {
+		cfg := exhibit.NewConfig(exhibit.WithQuick(true), exhibit.WithParallel(parallel))
+		r, err := RunScenario(context.Background(), cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Fprint(&buf)
+		return buf.String()
+	}
+	if serial, par := render(1), render(4); serial != par {
+		t.Errorf("new-axis scenario drifted at parallelism 4:\n%s\nvs serial:\n%s", par, serial)
+	}
+
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, wantStr := range []string{"tenants", "trace"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("rendering missing %q:\n%s", wantStr, out)
+		}
 	}
 }
 

@@ -1,0 +1,108 @@
+package memctrl
+
+import "testing"
+
+// ddr4Config builds a single-channel DDR4-style controller with 4 bank
+// groups and an exaggerated tCCD_L so the group penalty is unmistakable.
+func bankGroupConfig(groups int, t Timing) Config {
+	return Config{
+		Channels: 1, RanksPerChannel: 1, BanksPerRank: 16, BankGroups: groups,
+		Timing: t, DevicesPerAccess: 9, BurstBeats: 8,
+	}
+}
+
+func TestBankGroupColumnSpacing(t *testing.T) {
+	tim := Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2, TCCDS: 2, TCCDL: 10}
+
+	// Same group back to back: banks 0 and 4 share group 0 (group = bank %
+	// 4), so the second access's data must wait tCCD_L after the first.
+	c := New(bankGroupConfig(4, tim), nil)
+	first := c.Access(0, 0, 0, false)
+	_ = first
+	sameGroup := c.Access(0, 0, 4, false)
+
+	// Different groups: banks 0 and 1 are in groups 0 and 1; only the
+	// short gap (here swallowed by burst spacing) applies.
+	c2 := New(bankGroupConfig(4, tim), nil)
+	c2.Access(0, 0, 0, false)
+	diffGroup := c2.Access(0, 0, 1, false)
+
+	if sameGroup <= diffGroup {
+		t.Fatalf("same-group access completes at %d, different-group at %d; want same-group later (tCCD_L)", sameGroup, diffGroup)
+	}
+	// Quantitatively: data for access 1 is ready at TRCD+CL = 8; the first
+	// column command started at 8, so same-group data waits until 8+10,
+	// completing at 20; different-group waits only for the bus (8+2 -> 12).
+	if diffGroup != 12 {
+		t.Fatalf("different-group completion = %d, want 12", diffGroup)
+	}
+	if sameGroup != 20 {
+		t.Fatalf("same-group completion = %d, want 20 (tCCD_L enforced)", sameGroup)
+	}
+}
+
+// TestNoBankGroupsBooksAsBefore pins that DDR2-style configurations (no
+// groups, no TCCDL) are byte-identical to the pre-bank-group model: the
+// goldens of every existing exhibit depend on it.
+func TestNoBankGroupsBooksAsBefore(t *testing.T) {
+	cfg := Config{
+		Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
+		Timing: DDR2X8Timing(), DevicesPerAccess: 18, BurstBeats: 4,
+	}
+	c := New(cfg, nil)
+	// A handful of hand-computed completions under the legacy model.
+	if got := c.Access(0, 0, 0, false); got != 10 {
+		t.Fatalf("first access completes at %d, want 10 (TRCD+CL+Burst)", got)
+	}
+	if got := c.Access(0, 0, 1, false); got != 12 {
+		t.Fatalf("second access (other bank) completes at %d, want 12 (bus serialised)", got)
+	}
+	if got := c.Access(0, 1, 0, false); got != 10 {
+		t.Fatalf("other-channel access completes at %d, want 10", got)
+	}
+}
+
+func TestBankGroupReset(t *testing.T) {
+	tim := Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2, TCCDS: 2, TCCDL: 10}
+	c := New(bankGroupConfig(4, tim), nil)
+	c.Access(0, 0, 0, false)
+	after := c.Access(0, 0, 4, false)
+	c.Reset()
+	c.Access(0, 0, 0, false)
+	again := c.Access(0, 0, 4, false)
+	if after != again {
+		t.Fatalf("post-Reset booking diverged: %d vs %d", after, again)
+	}
+}
+
+func TestDDRGenerationTimings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tim  Timing
+	}{{"ddr4", DDR4Timing()}, {"ddr5", DDR5Timing()}} {
+		if tc.tim.TCCDL <= tc.tim.TCCDS {
+			t.Errorf("%s: TCCDL %d <= TCCDS %d", tc.name, tc.tim.TCCDL, tc.tim.TCCDS)
+		}
+		if tc.tim.TREFI <= 0 || tc.tim.TRFC <= 0 {
+			t.Errorf("%s: refresh timing missing", tc.name)
+		}
+		// Timings must be usable in a controller.
+		cfg := bankGroupConfig(4, tc.tim)
+		c := New(cfg, nil)
+		if got := c.Access(0, 0, 0, false); got <= 0 {
+			t.Errorf("%s: access completed at %d", tc.name, got)
+		}
+	}
+	if New(bankGroupConfig(1, DDR2X8Timing()), nil) == nil {
+		t.Fatal("flat-bank config rejected")
+	}
+}
+
+func TestBankGroupsMustDivideBanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted 16 banks in 3 groups")
+		}
+	}()
+	New(bankGroupConfig(3, DDR4Timing()), nil)
+}

@@ -32,6 +32,12 @@ type Timing struct {
 	// unavailable for TRFC cycles. Zero TREFI disables refresh modeling.
 	TREFI int
 	TRFC  int
+	// TCCDS/TCCDL are the DDR4/DDR5 column-to-column command gaps to a
+	// different (S) or the same (L) bank group. Zero TCCDL disables
+	// bank-group spacing — the DDR2 presets leave it off, so legacy
+	// configurations book identically to before bank groups existed.
+	TCCDS int
+	TCCDL int
 }
 
 // DDR2X8Timing is the ARCC channel: 18 x8 devices form a 144-bit bus and
@@ -45,12 +51,35 @@ func DDR2X8Timing() Timing { return Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2} }
 // per access (36 vs 18), not in bus width.
 func DDR2X4Timing() Timing { return Timing{TRCD: 4, CL: 4, TRC: 18, Burst: 2} }
 
+// DDR4Timing models a DDR4-2400 ECC channel in its own 1200 MHz command
+// clocks (~0.83 ns): tRCD/CL ~13.3 ns, tRC ~45 ns, a BL8 burst moving a
+// line in 4 bus clocks, 4-bank-group tCCD_S/tCCD_L spacing, and 7.8 us /
+// 350 ns auto-refresh. Representative JEDEC speed-bin numbers — the
+// figures compare configurations, they do not certify parts.
+func DDR4Timing() Timing {
+	return Timing{TRCD: 16, CL: 16, TRC: 54, Burst: 4, TRP: 16,
+		TREFI: 9360, TRFC: 420, TCCDS: 4, TCCDL: 6}
+}
+
+// DDR5Timing models a DDR5-4800 ECC subchannel in its own 2400 MHz command
+// clocks (~0.42 ns): tRCD/CL ~16 ns, tRC ~48 ns, a BL16 burst moving a
+// line in 8 bus clocks on the 40-bit subchannel, 8-bank-group spacing, and
+// fine-granularity refresh (3.9 us / ~295 ns).
+func DDR5Timing() Timing {
+	return Timing{TRCD: 39, CL: 40, TRC: 115, Burst: 8, TRP: 39,
+		TREFI: 9360, TRFC: 708, TCCDS: 8, TCCDL: 12}
+}
+
 // Config shapes a controller.
 type Config struct {
 	Channels        int
 	RanksPerChannel int
 	BanksPerRank    int
-	Timing          Timing
+	// BankGroups partitions each rank's banks into groups for tCCD_L/tCCD_S
+	// column spacing (DDR4: 4, DDR5: 8). Zero or one means a flat DDR2-style
+	// bank array with no group constraint.
+	BankGroups int
+	Timing     Timing
 	// DevicesPerAccess is the device count charged to the power meter for
 	// one single-channel access (18 for ARCC, 36 for the lockstep
 	// baseline whose two physical channels fire together).
@@ -71,6 +100,12 @@ type Controller struct {
 	openRow  [][]int64 // [channel][rank*banks] open row (-1: precharged); open-page only
 	busFree  []int64   // [channel]
 
+	// Bank-group column spacing state (tCCD): per channel, the start cycle
+	// and group of the last column command. Unused when the configuration
+	// has no bank groups or the timing has no TCCDL.
+	lastCol      []int64 // [channel]
+	lastColGroup []int   // [channel], -1 before any column command
+
 	reads, writes  int64
 	busBusy        int64 // accumulated data-bus busy cycles (all channels)
 	bankBusy       int64 // accumulated bank busy cycles
@@ -86,6 +121,9 @@ func New(cfg Config, meter *power.Meter) *Controller {
 	if cfg.Timing.TRCD <= 0 || cfg.Timing.CL <= 0 || cfg.Timing.TRC <= 0 || cfg.Timing.Burst <= 0 {
 		panic(fmt.Sprintf("memctrl: invalid timing %+v", cfg.Timing))
 	}
+	if cfg.BankGroups > 1 && cfg.BanksPerRank%cfg.BankGroups != 0 {
+		panic(fmt.Sprintf("memctrl: %d banks do not divide into %d groups", cfg.BanksPerRank, cfg.BankGroups))
+	}
 	banks := make([][]int64, cfg.Channels)
 	rows := make([][]int64, cfg.Channels)
 	for i := range banks {
@@ -95,7 +133,13 @@ func New(cfg Config, meter *power.Meter) *Controller {
 			rows[i][j] = -1
 		}
 	}
-	return &Controller{cfg: cfg, meter: meter, bankFree: banks, openRow: rows, busFree: make([]int64, cfg.Channels)}
+	c := &Controller{cfg: cfg, meter: meter, bankFree: banks, openRow: rows, busFree: make([]int64, cfg.Channels)}
+	c.lastCol = make([]int64, cfg.Channels)
+	c.lastColGroup = make([]int, cfg.Channels)
+	for i := range c.lastColGroup {
+		c.lastColGroup[i] = -1
+	}
+	return c
 }
 
 // Config returns the controller's configuration.
@@ -114,6 +158,10 @@ func (c *Controller) Reset() {
 		}
 	}
 	clear(c.busFree)
+	clear(c.lastCol)
+	for i := range c.lastColGroup {
+		c.lastColGroup[i] = -1
+	}
 	c.reads, c.writes = 0, 0
 	c.busBusy, c.bankBusy = 0, 0
 	c.lastCompletion = 0
@@ -138,7 +186,7 @@ func (c *Controller) Access(now int64, channel, globalBank int, write bool) int6
 	start := max64(now, c.bankFree[channel][globalBank])
 	start = c.afterRefresh(start)
 	dataReady := start + int64(t.TRCD+t.CL)
-	dataStart := max64(dataReady, c.busFree[channel])
+	dataStart := c.applyCCD(channel, globalBank, max64(dataReady, c.busFree[channel]))
 	complete := dataStart + int64(t.Burst)
 	c.busFree[channel] = complete
 	c.bankFree[channel][globalBank] = start + int64(t.TRC)
@@ -238,7 +286,7 @@ func (c *Controller) AccessOpenPage(now int64, channel, globalBank int, row int6
 		}
 		dataReady = start + penalty
 	}
-	dataStart := max64(dataReady, c.busFree[channel])
+	dataStart := c.applyCCD(channel, globalBank, max64(dataReady, c.busFree[channel]))
 	complete := dataStart + int64(t.Burst)
 	c.busFree[channel] = complete
 	c.bankFree[channel][globalBank] = complete
@@ -294,6 +342,32 @@ func (c *Controller) BankUtilization(elapsed int64) float64 {
 
 // LastCompletion returns the cycle at which the last booked access finishes.
 func (c *Controller) LastCompletion() int64 { return c.lastCompletion }
+
+// applyCCD delays a column command's data start to honour bank-group
+// column-to-column spacing (tCCD_L to the same group, tCCD_S to another)
+// and records the command. Banks interleave across groups (group = bank %
+// BankGroups), so sequential bank interleaving alternates groups and pays
+// the short gap. A no-op when the configuration has no bank groups or the
+// timing no TCCDL — DDR2 configurations book identically to before.
+func (c *Controller) applyCCD(channel, globalBank int, dataStart int64) int64 {
+	t := c.cfg.Timing
+	if c.cfg.BankGroups <= 1 || t.TCCDL <= 0 {
+		return dataStart
+	}
+	group := (globalBank % c.cfg.BanksPerRank) % c.cfg.BankGroups
+	if g := c.lastColGroup[channel]; g >= 0 {
+		gap := int64(t.TCCDS)
+		if g == group {
+			gap = int64(t.TCCDL)
+		}
+		if earliest := c.lastCol[channel] + gap; earliest > dataStart {
+			dataStart = earliest
+		}
+	}
+	c.lastCol[channel] = dataStart
+	c.lastColGroup[channel] = group
+	return dataStart
+}
 
 // afterRefresh pushes a command start time out of any refresh window: with
 // auto-refresh enabled, the first TRFC cycles of every TREFI period are

@@ -39,9 +39,17 @@ func (m Mode) String() string {
 // count is rejected; all pages start Upgraded, matching the paper's boot
 // sequence ("the operating system is started up in the upgraded mode for
 // every page").
+//
+// The representation is sparse: a default mode plus an exception map of
+// the pages that differ from it. Construction and RelaxAll are O(1) and a
+// table over 2^28 pages (a terabyte of 4 KB pages) costs memory
+// proportional to the pages whose mode has actually diverged — in a
+// healthy memory, the handful of faulty upgraded pages.
 type Table struct {
-	modes  []Mode
-	counts [3]int
+	numPages int
+	def      Mode         // mode of every page not in except
+	except   map[int]Mode // pages whose mode differs from def
+	counts   [3]int
 }
 
 // New creates a table of numPages physical pages, all in Upgraded mode.
@@ -49,22 +57,25 @@ func New(numPages int) *Table {
 	if numPages <= 0 {
 		panic(fmt.Sprintf("pagetable: invalid page count %d", numPages))
 	}
-	modes := make([]Mode, numPages)
-	t := &Table{modes: modes}
-	for i := range modes {
-		modes[i] = Upgraded
-	}
+	t := &Table{numPages: numPages, def: Upgraded, except: make(map[int]Mode)}
 	t.counts[Upgraded] = numPages
 	return t
 }
 
 // Len returns the number of pages.
-func (t *Table) Len() int { return len(t.modes) }
+func (t *Table) Len() int { return t.numPages }
+
+// Exceptions returns the number of pages whose mode differs from the
+// current default — the table's resident footprint.
+func (t *Table) Exceptions() int { return len(t.except) }
 
 // Mode returns the current strength of page.
 func (t *Table) Mode(page int) Mode {
 	t.check(page)
-	return t.modes[page]
+	if m, ok := t.except[page]; ok {
+		return m
+	}
+	return t.def
 }
 
 // SetMode changes the strength of page.
@@ -73,13 +84,17 @@ func (t *Table) SetMode(page int, m Mode) {
 	if m < Relaxed || m > Upgraded8 {
 		panic(fmt.Sprintf("pagetable: invalid mode %d", m))
 	}
-	old := t.modes[page]
+	old := t.Mode(page)
 	if old == m {
 		return
 	}
 	t.counts[old]--
 	t.counts[m]++
-	t.modes[page] = m
+	if m == t.def {
+		delete(t.except, page)
+	} else {
+		t.except[page] = m
+	}
 }
 
 // Upgrade raises the strength of page by one level (Relaxed -> Upgraded ->
@@ -87,23 +102,23 @@ func (t *Table) SetMode(page int, m Mode) {
 // no-op: there is no stronger level.
 func (t *Table) Upgrade(page int) Mode {
 	t.check(page)
-	switch t.modes[page] {
+	switch t.Mode(page) {
 	case Relaxed:
 		t.SetMode(page, Upgraded)
 	case Upgraded:
 		t.SetMode(page, Upgraded8)
 	}
-	return t.modes[page]
+	return t.Mode(page)
 }
 
 // RelaxAll sets every page to Relaxed — the action of the first boot-time
-// scrub on a fault-free memory.
+// scrub on a fault-free memory. O(1): it flips the default and drops the
+// exceptions.
 func (t *Table) RelaxAll() {
-	for i := range t.modes {
-		t.modes[i] = Relaxed
-	}
+	t.def = Relaxed
+	clear(t.except)
 	t.counts = [3]int{}
-	t.counts[Relaxed] = len(t.modes)
+	t.counts[Relaxed] = t.numPages
 }
 
 // Count returns the number of pages currently in mode m.
@@ -116,11 +131,11 @@ func (t *Table) Count(m Mode) int {
 
 // UpgradedFraction returns the fraction of pages above Relaxed mode.
 func (t *Table) UpgradedFraction() float64 {
-	return float64(t.counts[Upgraded]+t.counts[Upgraded8]) / float64(len(t.modes))
+	return float64(t.counts[Upgraded]+t.counts[Upgraded8]) / float64(t.numPages)
 }
 
 func (t *Table) check(page int) {
-	if page < 0 || page >= len(t.modes) {
-		panic(fmt.Sprintf("pagetable: page %d outside [0, %d)", page, len(t.modes)))
+	if page < 0 || page >= t.numPages {
+		panic(fmt.Sprintf("pagetable: page %d outside [0, %d)", page, t.numPages))
 	}
 }

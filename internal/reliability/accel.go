@@ -140,10 +140,22 @@ func FaultyPageFractionStats(seed int64, opts mc.Options, rates faultmodel.Rates
 // any parallelism.
 func FaultyPageFractionStatsCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, shape faultmodel.ChannelShape,
 	ranks, devicesPerRank int, years, channels int, accel Accel) (*SeriesStats, error) {
+	return FaultyPageFractionStatsBurstCtx(ctx, seed, opts, rates, faultmodel.Burst{}, shape, ranks, devicesPerRank, years, channels, accel)
+}
+
+// FaultyPageFractionStatsBurstCtx is FaultyPageFractionStatsCtx under a
+// correlated fault-burst model. Burst expansion composes exactly with
+// every acceleration mode: the trial weight is the likelihood ratio of
+// the primary arrival process alone, and expansion is drawn from the
+// identical conditional law under the nominal and proposal processes, so
+// the weighted estimate stays unbiased. A zero burst consumes no
+// randomness and reproduces FaultyPageFractionStatsCtx bit for bit.
+func FaultyPageFractionStatsBurstCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, burst faultmodel.Burst,
+	shape faultmodel.ChannelShape, ranks, devicesPerRank int, years, channels int, accel Accel) (*SeriesStats, error) {
 	if years <= 0 || channels <= 0 {
 		panic("reliability: invalid years/channels")
 	}
-	return runSeriesStats(ctx, seed, opts, rates, ranks, devicesPerRank, years, channels, accel,
+	return runSeriesStats(ctx, seed, opts, rates, burst, ranks, devicesPerRank, years, channels, accel,
 		func(arrivals []faultmodel.Arrival, series []float64) {
 			faultyPageSeries(arrivals, shape, years, series)
 		})
@@ -163,30 +175,42 @@ func LifetimeOverheadStats(seed int64, opts mc.Options, rates faultmodel.Rates, 
 // same quantity unbiasedly with far fewer trials.
 func LifetimeOverheadStatsCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
 	years, channels int, overhead OverheadByType, cap float64, accel Accel) (*SeriesStats, error) {
+	return LifetimeOverheadStatsBurstCtx(ctx, seed, opts, rates, faultmodel.Burst{}, ranks, devicesPerRank, years, channels, overhead, cap, accel)
+}
+
+// LifetimeOverheadStatsBurstCtx is LifetimeOverheadStatsCtx under a
+// correlated fault-burst model, with the same exact-composition contract
+// as FaultyPageFractionStatsBurstCtx.
+func LifetimeOverheadStatsBurstCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, burst faultmodel.Burst,
+	ranks, devicesPerRank int, years, channels int, overhead OverheadByType, cap float64, accel Accel) (*SeriesStats, error) {
 	if years <= 0 || channels <= 0 || cap <= 0 {
 		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
 	}
-	return runSeriesStats(ctx, seed, opts, rates, ranks, devicesPerRank, years, channels, accel,
+	return runSeriesStats(ctx, seed, opts, rates, burst, ranks, devicesPerRank, years, channels, accel,
 		func(arrivals []faultmodel.Arrival, series []float64) {
 			overheadSeries(arrivals, overhead, cap, years, series)
 		})
 }
 
 // runSeriesStats runs one weighted lifetime Monte Carlo: trials draw an
-// arrival history under the accel's proposal, evaluate the per-year
-// series with exactly the helper the plain functions use, and weight the
-// trial by its likelihood ratio.
-func runSeriesStats(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
-	years, channels int, accel Accel, series func(arrivals []faultmodel.Arrival, series []float64)) (*SeriesStats, error) {
+// arrival history under the accel's proposal, expand it under the burst
+// model, evaluate the per-year series with exactly the helper the plain
+// functions use, and weight the trial by the primary process's likelihood
+// ratio (exact under expansion — see FaultyPageFractionStatsBurstCtx).
+func runSeriesStats(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, burst faultmodel.Burst,
+	ranks, devicesPerRank int, years, channels int, accel Accel, series func(arrivals []faultmodel.Arrival, series []float64)) (*SeriesStats, error) {
 	if err := accel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := burst.Validate(); err != nil {
 		return nil, err
 	}
 	if accel.Mode == AccelConditional && faultmodel.ExpectedArrivals(rates, ranks, devicesPerRank, float64(years)) <= 0 {
 		return nil, fmt.Errorf("reliability: conditional acceleration of a zero-rate fault process (nothing to condition on)")
 	}
-	tiltHint := 1.0
+	tiltHint := burst.CapHintFactor()
 	if accel.Mode == AccelTilted {
-		tiltHint = accel.Tilt
+		tiltHint *= accel.Tilt
 	}
 	job := mc.WeightedJob{
 		Trials:     channels,
@@ -205,6 +229,7 @@ func runSeriesStats(ctx context.Context, seed int64, opts mc.Options, rates faul
 			default:
 				arrivals = faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
 			}
+			arrivals = burst.ExpandInto(rng, arrivals)
 			scratch.buf = arrivals
 			series(arrivals, vals)
 			return w

@@ -1,0 +1,135 @@
+package reliability
+
+import (
+	"context"
+	"math"
+	"slices"
+	"testing"
+
+	"arcc/internal/faultmodel"
+	"arcc/internal/mc"
+)
+
+// burstTestRates returns rates inflated enough that burst effects are
+// measurable with modest trial counts.
+func burstTestRates() faultmodel.Rates {
+	return faultmodel.FieldStudyRates().Scale(100)
+}
+
+func TestZeroBurstBitIdentical(t *testing.T) {
+	rates := burstTestRates()
+	shape := faultmodel.ARCCChannelShape()
+	opts := mc.Options{Parallelism: 4}
+	ctx := context.Background()
+
+	plain, err := FaultyPageFractionCtx(ctx, 5, opts, rates, shape, 2, 18, 7, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := FaultyPageFractionBurstCtx(ctx, 5, opts, rates, faultmodel.Burst{}, shape, 2, 18, 7, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(plain, zero) {
+		t.Fatalf("zero burst diverged:\n%v\n%v", plain, zero)
+	}
+
+	ov := WorstCaseOverheads(shape, 2)
+	p2, err := LifetimeOverheadCtx(ctx, 5, opts, rates, 2, 18, 7, 3000, ov, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := LifetimeOverheadBurstCtx(ctx, 5, opts, rates, faultmodel.Burst{}, 2, 18, 7, 3000, ov, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(p2, z2) {
+		t.Fatalf("zero burst diverged (overhead):\n%v\n%v", p2, z2)
+	}
+
+	// Stats path too, at two parallelisms.
+	s1, err := FaultyPageFractionStatsBurstCtx(ctx, 5, mc.Options{Parallelism: 1}, rates, faultmodel.Burst{}, shape, 2, 18, 7, 3000, Accel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := FaultyPageFractionStatsBurstCtx(ctx, 5, opts, rates, faultmodel.Burst{}, shape, 2, 18, 7, 3000, Accel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(s1.Mean, s4.Mean) || !slices.Equal(s1.Mean, plain) {
+		t.Fatalf("stats zero-burst means diverged:\n%v\n%v\n%v", s1.Mean, s4.Mean, plain)
+	}
+}
+
+func TestBurstRaisesFaultyFraction(t *testing.T) {
+	rates := burstTestRates()
+	shape := faultmodel.ARCCChannelShape()
+	opts := mc.Options{Parallelism: 4}
+	ctx := context.Background()
+	burst := faultmodel.Burst{RowProb: 1, RowMean: 8, RowMax: 32, BankProb: 1, BankMean: 8, BankMax: 32}
+
+	plain, err := FaultyPageFractionCtx(ctx, 5, opts, rates, shape, 2, 18, 7, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := FaultyPageFractionBurstCtx(ctx, 5, opts, rates, burst, shape, 2, 18, 7, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := len(plain) - 1
+	if bursty[final] <= plain[final] {
+		t.Fatalf("correlated bursts did not raise the faulty fraction: %v <= %v", bursty[final], plain[final])
+	}
+
+	// Determinism across parallelism.
+	again, err := FaultyPageFractionBurstCtx(ctx, 5, mc.Options{Parallelism: 1}, rates, burst, shape, 2, 18, 7, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(bursty, again) {
+		t.Fatalf("burst run not parallelism-invariant:\n%v\n%v", bursty, again)
+	}
+}
+
+func TestBurstComposesWithAcceleration(t *testing.T) {
+	// The IS contract: conditional acceleration with bursts estimates the
+	// same quantity as plain sampling with bursts. Compare the accelerated
+	// estimate against a high-trial plain run within combined CIs.
+	rates := burstTestRates()
+	shape := faultmodel.ARCCChannelShape()
+	ctx := context.Background()
+	burst := faultmodel.Burst{RowProb: 0.8, RowMean: 6, RowMax: 24}
+	const years = 7
+
+	ref, err := FaultyPageFractionStatsBurstCtx(ctx, 21, mc.Options{Parallelism: 4}, rates, burst, shape, 2, 18, years, 60_000, Accel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := FaultyPageFractionStatsBurstCtx(ctx, 99, mc.Options{Parallelism: 4}, rates, burst, shape, 2, 18, years, 8_000, Accel{Mode: AccelConditional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conditional sampling leaves the zero-fault stratum implicit; both
+	// estimate the same mean.
+	for y := 0; y < years; y++ {
+		tol := 3 * (ref.CI95[y] + acc.CI95[y])
+		if math.Abs(ref.Mean[y]-acc.Mean[y]) > tol {
+			t.Errorf("year %d: plain %v vs conditional %v (tol %v)", y+1, ref.Mean[y], acc.Mean[y], tol)
+		}
+	}
+	if acc.ESS <= 0 || acc.ESS > float64(acc.Trials) {
+		t.Fatalf("degenerate ESS %v", acc.ESS)
+	}
+}
+
+func TestBurstRejectsInvalid(t *testing.T) {
+	bad := faultmodel.Burst{RowProb: 2}
+	if _, err := FaultyPageFractionBurstCtx(context.Background(), 1, mc.Options{}, burstTestRates(), bad,
+		faultmodel.ARCCChannelShape(), 2, 18, 3, 10); err == nil {
+		t.Fatal("invalid burst accepted (plain)")
+	}
+	if _, err := LifetimeOverheadStatsBurstCtx(context.Background(), 1, mc.Options{}, burstTestRates(), bad,
+		2, 18, 3, 10, WorstCaseOverheads(faultmodel.ARCCChannelShape(), 2), 1, Accel{}); err == nil {
+		t.Fatal("invalid burst accepted (stats)")
+	}
+}

@@ -154,18 +154,31 @@ func FaultyPageFraction(seed int64, opts mc.Options, rates faultmodel.Rates, sha
 // boundary instead of completing the fan-out.
 func FaultyPageFractionCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, shape faultmodel.ChannelShape,
 	ranks, devicesPerRank int, years, channels int) ([]float64, error) {
+	return FaultyPageFractionBurstCtx(ctx, seed, opts, rates, faultmodel.Burst{}, shape, ranks, devicesPerRank, years, channels)
+}
+
+// FaultyPageFractionBurstCtx is FaultyPageFractionCtx under a correlated
+// fault-burst model: each sampled history is expanded by burst before the
+// per-year series is evaluated. A zero burst consumes no randomness, so
+// the result is bit-identical to FaultyPageFractionCtx.
+func FaultyPageFractionBurstCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, burst faultmodel.Burst,
+	shape faultmodel.ChannelShape, ranks, devicesPerRank int, years, channels int) ([]float64, error) {
 	if years <= 0 || channels <= 0 {
 		panic("reliability: invalid years/channels")
+	}
+	if err := burst.Validate(); err != nil {
+		return nil, err
 	}
 	acc, err := mc.RunCtx(ctx, mc.Job{
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
-		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), 1),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), burst.CapHintFactor()),
 		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
 			scratch := sc.(*arrivalScratch)
 			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
+			arrivals = burst.ExpandInto(rng, arrivals)
 			scratch.buf = arrivals
 			faultyPageSeries(arrivals, shape, years, scratch.series)
 			for i, v := range scratch.series {
@@ -210,18 +223,31 @@ func LifetimeOverhead(seed int64, opts mc.Options, rates faultmodel.Rates, ranks
 // of completing the fan-out.
 func LifetimeOverheadCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, ranks, devicesPerRank int,
 	years, channels int, overhead OverheadByType, cap float64) ([]float64, error) {
+	return LifetimeOverheadBurstCtx(ctx, seed, opts, rates, faultmodel.Burst{}, ranks, devicesPerRank, years, channels, overhead, cap)
+}
+
+// LifetimeOverheadBurstCtx is LifetimeOverheadCtx under a correlated
+// fault-burst model: each sampled history is expanded by burst before the
+// overhead series is evaluated. A zero burst consumes no randomness, so
+// the result is bit-identical to LifetimeOverheadCtx.
+func LifetimeOverheadBurstCtx(ctx context.Context, seed int64, opts mc.Options, rates faultmodel.Rates, burst faultmodel.Burst,
+	ranks, devicesPerRank int, years, channels int, overhead OverheadByType, cap float64) ([]float64, error) {
 	if years <= 0 || channels <= 0 || cap <= 0 {
 		panic(fmt.Sprintf("reliability: invalid lifetime-overhead arguments (years=%d channels=%d cap=%v)", years, channels, cap))
+	}
+	if err := burst.Validate(); err != nil {
+		return nil, err
 	}
 	acc, err := mc.RunCtx(ctx, mc.Job{
 		Trials:     channels,
 		Seed:       seed,
 		NewAcc:     newYearSums(years),
-		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), 1),
+		NewScratch: newArrivalScratch(rates, ranks, devicesPerRank, float64(years), burst.CapHintFactor()),
 		TrialScratch: func(rng *rand.Rand, _ int, a mc.Accumulator, sc any) {
 			sums := a.(*yearSums).sums
 			scratch := sc.(*arrivalScratch)
 			arrivals := faultmodel.SampleArrivalsInto(rng, scratch.buf, rates, ranks, devicesPerRank, float64(years))
+			arrivals = burst.ExpandInto(rng, arrivals)
 			scratch.buf = arrivals
 			overheadSeries(arrivals, overhead, cap, years, scratch.series)
 			for i, v := range scratch.series {

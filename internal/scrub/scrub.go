@@ -150,6 +150,10 @@ func (s *Scrubber) FullScrub() []int {
 	}
 	s.applyModeTransitions(faulty)
 	s.stats.Scrubs++
+	// Pattern testing materialises backing pages even where memory was
+	// never written; release everything that is verified all-zero so a
+	// scrub pass is footprint-neutral on the sparse store.
+	s.mem.CompactZeroStorage()
 	return faulty
 }
 
@@ -166,6 +170,7 @@ func (s *Scrubber) BootScrub() int {
 		}
 	}
 	s.stats.Scrubs++
+	s.mem.CompactZeroStorage()
 	return relaxed
 }
 

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -17,6 +19,7 @@ import (
 	"arcc/internal/exhibit"
 	"arcc/internal/experiments"
 	"arcc/internal/server"
+	"arcc/internal/workload"
 )
 
 // tinyScenario is a sweep small enough for unit tests: 64 Monte Carlo
@@ -175,6 +178,65 @@ func TestSubmitStatusResultRoundTrip(t *testing.T) {
 	}
 	if wantCSV := cliRender(t, tinyScenario, "csv", 7, 0, 2, false); !bytes.Equal(gotCSV, wantCSV) {
 		t.Fatalf("csv result differs from CLI output:\n got: %s\nwant: %s", gotCSV, wantCSV)
+	}
+}
+
+// TestNewAxisScenariosThroughServer submits one scenario per new PR-10
+// family — DDR5 geometry with multi-tenant interference, correlated
+// row/bank bursts, and trace replay — purely as JSON, and checks each
+// result byte-identical to the CLI's rendering of the same scenario.
+func TestNewAxisScenariosThroughServer(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "core0.trc")
+	f, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Record(f, workload.ByName("mesa").NewStream(7, 0), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tracePath, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	families := map[string]string{
+		"ddr5-tenants": `{"name":"ddr5-tenants","trials":64,"years":2,"mixes":[],
+			"dram":"ddr5","width":8,
+			"tenants":[{"benchmark":"mcf2006","footprint_lines":12288}],
+			"shared_llc":true,"llc_bytes":2097152}`,
+		"burst": `{"name":"burst","trials":64,"years":2,"mixes":[],
+			"burst":{"row_prob":0.5,"row_mean":4,"row_max":16,"bank_prob":0.2,"bank_mean":3,"bank_max":8}}`,
+		"trace-replay": fmt.Sprintf(`{"name":"trace-replay","trials":64,"years":2,"mixes":[],
+			"dram":"ddr4","trace":%s}`, tracePath),
+	}
+
+	_, ts := newTestServer(t, server.Options{Workers: 2})
+	for label, scenario := range families {
+		code, st := post(t, ts, fmt.Sprintf(`{"scenario": %s, "seed": 7, "quick": true, "format": "json"}`, scenario))
+		if code != http.StatusAccepted && code != http.StatusCreated {
+			t.Fatalf("%s: submit HTTP %d", label, code)
+		}
+		waitState(t, ts, st.ID, server.StateDone)
+		rcode, got := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+		if rcode != http.StatusOK {
+			t.Fatalf("%s: result HTTP %d: %s", label, rcode, got)
+		}
+		if want := cliRender(t, scenario, "json", 7, 0, 0, true); !bytes.Equal(got, want) {
+			t.Fatalf("%s: HTTP result differs from CLI output:\n got: %s\nwant: %s", label, got, want)
+		}
+		switch label {
+		case "ddr5-tenants":
+			if !bytes.Contains(got, []byte(`"tenants"`)) {
+				t.Fatalf("%s: result missing tenants row: %s", label, got)
+			}
+		case "trace-replay":
+			if !bytes.Contains(got, []byte(`"trace"`)) {
+				t.Fatalf("%s: result missing trace row: %s", label, got)
+			}
+		}
 	}
 }
 

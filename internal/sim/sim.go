@@ -17,6 +17,7 @@ import (
 
 	"arcc/internal/cache"
 	"arcc/internal/cpu"
+	"arcc/internal/dram"
 	"arcc/internal/memctrl"
 	"arcc/internal/power"
 	"arcc/internal/workload"
@@ -43,10 +44,98 @@ func (m MemorySystem) String() string {
 	return "arcc"
 }
 
+// Tech selects the memory technology generation the two systems are built
+// from. The zero value is the paper's DDR2-667 evaluation (Table 7.1),
+// byte-identical to the pre-axis simulator; DDR4/DDR5 rebuild both systems
+// from the dram.OrgFor organisation tables, the memctrl generation timing
+// presets (bank groups, tCCD_L/tCCD_S), and the power generation device
+// profiles. The Baseline system always uses x4 devices — commercial
+// chipkill needs the narrow symbol — while Width sets the ARCC rank's
+// device width.
+type Tech struct {
+	Generation dram.Generation
+	// Width is the ARCC device width in bits: 4, 8, or 16. Zero means 8,
+	// the paper's choice.
+	Width int
+}
+
+// normalize validates the pair and canonicalises it so equal-meaning Techs
+// compare equal (the Scratch caches controllers per Tech).
+func (t Tech) normalize() Tech {
+	if t.Generation == dram.DDR2 {
+		// The DDR2 path is the calibrated paper configuration; only the
+		// paper's x8 ARCC ranks are modelled.
+		if t.Width != 0 && t.Width != 8 {
+			panic(fmt.Sprintf("sim: DDR2 models only x8 ARCC ranks, not x%d", t.Width))
+		}
+		return Tech{}
+	}
+	if t.Width == 0 {
+		t.Width = 8
+	}
+	if _, err := dram.OrgFor(t.Generation, t.Width); err != nil {
+		panic("sim: " + err.Error())
+	}
+	return t
+}
+
+// CPR returns the conventional CPU-cycles-per-DRAM-cycle ratio for the
+// generation under the paper's 3 GHz core: 9 for DDR2-667 (333 MHz memory
+// clock), 3 for DDR4-2400 (1.2 GHz), and 1 for DDR5-4800 (2.4 GHz) — the
+// nearest integer ratios, which is the same approximation Table 7.1 makes.
+func (t Tech) CPR() int64 {
+	switch t.normalize().Generation {
+	case dram.DDR4:
+		return 3
+	case dram.DDR5:
+		return 1
+	}
+	return 9
+}
+
+// nsPerCycle returns the DRAM clock period in nanoseconds.
+func nsPerCycle(gen dram.Generation) float64 {
+	switch gen {
+	case dram.DDR4:
+		return 0.833
+	case dram.DDR5:
+		return 0.417
+	}
+	return 3.0
+}
+
+// deviceFor maps a generation/width pair to its power device profile.
+func deviceFor(gen dram.Generation, width int) power.DeviceParams {
+	switch gen {
+	case dram.DDR4:
+		switch width {
+		case 4:
+			return power.DDR4x4Device()
+		case 8:
+			return power.DDR4x8Device()
+		case 16:
+			return power.DDR4x16Device()
+		}
+	case dram.DDR5:
+		switch width {
+		case 4:
+			return power.DDR5x4Device()
+		case 8:
+			return power.DDR5x8Device()
+		case 16:
+			return power.DDR5x16Device()
+		}
+	}
+	panic(fmt.Sprintf("sim: no power profile for %v x%d", gen, width))
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Mix    workload.Mix
 	System MemorySystem
+	// Tech selects the memory generation; the zero value is the paper's
+	// DDR2-667 configuration.
+	Tech Tech
 	// UpgradedFraction is the fraction of pages in upgraded mode (0 for a
 	// fault-free memory; Table 7.4 fractions for the Fig 7.2/7.3 fault
 	// scenarios). Ignored for the Baseline system.
@@ -69,9 +158,20 @@ type Config struct {
 	CPUCyclesPerDRAMCycle int64
 	// Sources, when non-nil, overrides the synthetic generators with
 	// caller-provided access sources (e.g. recorded traces replayed with
-	// workload.NewReplaySource). Entries left nil fall back to the mix's
-	// generator for that core.
+	// workload.NewReplaySource, or trace files loaded into a
+	// workload.TraceSource and cloned per core). Entries left nil fall back
+	// to the mix's generator for that core.
 	Sources [4]workload.Source
+	// Tenants, when non-empty, replaces the mix's four benchmarks with a
+	// multi-tenant interference mix: 1-4 tenants mapped round-robin onto
+	// the four cores (workload.TenantBenchmarks). Ignored for cores whose
+	// Sources entry is set.
+	Tenants []workload.Tenant
+	// SharedLLC replaces the four private LLCs with one LLC of LLCBytes
+	// shared by all cores — the contention half of a multi-tenant study.
+	// LLCBytes is the total shared capacity, so a scenario comparing
+	// private-1MB against shared-4MB sets it explicitly.
+	SharedLLC bool
 }
 
 // DefaultConfig returns the Table 7.1/7.2 configuration for a mix.
@@ -132,12 +232,17 @@ type Scratch struct {
 	llcs               [4]*cache.LLC
 	llcBytes, llcAssoc int
 	llcPolicy          cache.Policy
+	llcShared          bool
 
 	// One controller+meter per memory system, so a scratch alternating
 	// between Baseline and ARCC runs (the Fig 7.1 comparison) reuses both.
-	mem     [2]*memctrl.Controller
-	meter   [2]*power.Meter
-	pairing [2]memctrl.Pairing
+	// tech/nsPerCyc/devices record the generation each pair was built for.
+	mem      [2]*memctrl.Controller
+	meter    [2]*power.Meter
+	pairing  [2]memctrl.Pairing
+	tech     [2]Tech
+	nsPerCyc [2]float64
+	devices  [2]int
 
 	evs     []cache.Eviction
 	handled []uint64
@@ -155,44 +260,104 @@ func (s *Scratch) memorySystem(cfg Config) (*memctrl.Controller, *power.Meter) {
 		panic(fmt.Sprintf("sim: unknown system %d", cfg.System))
 	}
 	i := int(cfg.System)
-	if s.mem[i] != nil && s.pairing[i] == cfg.Pairing {
+	tech := cfg.Tech.normalize()
+	if s.mem[i] != nil && s.pairing[i] == cfg.Pairing && s.tech[i] == tech {
 		s.mem[i].Reset()
 		s.meter[i].Reset()
 		return s.mem[i], s.meter[i]
 	}
-	switch cfg.System {
-	case Baseline:
-		s.meter[i] = power.NewMeter(power.Micron512MbX4())
-		s.mem[i] = memctrl.New(memctrl.Config{
-			Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
-			Timing: withRefresh(memctrl.DDR2X4Timing()), DevicesPerAccess: 36, BurstBeats: 4,
-		}, s.meter[i])
-	case ARCC:
-		s.meter[i] = power.NewMeter(power.Micron512MbX8())
-		s.mem[i] = memctrl.New(memctrl.Config{
-			Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
-			Timing: withRefresh(memctrl.DDR2X8Timing()), DevicesPerAccess: 18, BurstBeats: 4,
-			Pairing: cfg.Pairing,
-		}, s.meter[i])
+	if tech == (Tech{}) {
+		// The calibrated DDR2-667 paper configuration, byte-identical to
+		// the pre-generation-axis simulator.
+		switch cfg.System {
+		case Baseline:
+			s.meter[i] = power.NewMeter(power.Micron512MbX4())
+			s.mem[i] = memctrl.New(memctrl.Config{
+				Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+				Timing: withRefresh(memctrl.DDR2X4Timing()), DevicesPerAccess: 36, BurstBeats: 4,
+			}, s.meter[i])
+			s.devices[i] = 72
+		case ARCC:
+			s.meter[i] = power.NewMeter(power.Micron512MbX8())
+			s.mem[i] = memctrl.New(memctrl.Config{
+				Channels: 2, RanksPerChannel: 2, BanksPerRank: 8,
+				Timing: withRefresh(memctrl.DDR2X8Timing()), DevicesPerAccess: 18, BurstBeats: 4,
+				Pairing: cfg.Pairing,
+			}, s.meter[i])
+			s.devices[i] = 72
+		}
+		s.nsPerCyc[i] = nsPerCycle(dram.DDR2)
+	} else {
+		var tim memctrl.Timing
+		switch tech.Generation {
+		case dram.DDR4:
+			tim = memctrl.DDR4Timing()
+		case dram.DDR5:
+			tim = memctrl.DDR5Timing()
+		}
+		switch cfg.System {
+		case Baseline:
+			// Commercial chipkill: one rank of x4 devices per channel.
+			org, err := dram.OrgFor(tech.Generation, 4)
+			if err != nil {
+				panic("sim: " + err.Error())
+			}
+			s.meter[i] = power.NewMeter(deviceFor(tech.Generation, 4))
+			s.mem[i] = memctrl.New(memctrl.Config{
+				Channels: 2, RanksPerChannel: 1,
+				BanksPerRank: org.Banks(), BankGroups: org.BankGroups,
+				Timing: tim, DevicesPerAccess: org.DevicesPerRank,
+				BurstBeats: org.BurstClocks * 2,
+			}, s.meter[i])
+			s.devices[i] = 2 * org.DevicesPerRank
+		case ARCC:
+			org, err := dram.OrgFor(tech.Generation, tech.Width)
+			if err != nil {
+				panic("sim: " + err.Error())
+			}
+			s.meter[i] = power.NewMeter(deviceFor(tech.Generation, tech.Width))
+			s.mem[i] = memctrl.New(memctrl.Config{
+				Channels: 2, RanksPerChannel: 2,
+				BanksPerRank: org.Banks(), BankGroups: org.BankGroups,
+				Timing: tim, DevicesPerAccess: org.DevicesPerRank,
+				BurstBeats: org.BurstClocks * 2, Pairing: cfg.Pairing,
+			}, s.meter[i])
+			s.devices[i] = 2 * 2 * org.DevicesPerRank
+		}
+		s.nsPerCyc[i] = nsPerCycle(tech.Generation)
 	}
 	s.pairing[i] = cfg.Pairing
+	s.tech[i] = tech
 	return s.mem[i], s.meter[i]
 }
 
 // resetLLCs returns the four per-core LLCs for cfg, reusing (and resetting)
 // the previous run's backing arrays when the cache geometry is unchanged
-// and rebuilding all four together when it is not.
+// and rebuilding all four together when it is not. Under SharedLLC all four
+// entries alias one LLC of LLCBytes total capacity.
 func (s *Scratch) resetLLCs(cfg Config) *[4]*cache.LLC {
-	if s.llcs[0] != nil && s.llcBytes == cfg.LLCBytes && s.llcAssoc == cfg.LLCAssoc && s.llcPolicy == cfg.LLCPolicy {
-		for _, llc := range s.llcs {
-			llc.Reset()
+	if s.llcs[0] != nil && s.llcBytes == cfg.LLCBytes && s.llcAssoc == cfg.LLCAssoc &&
+		s.llcPolicy == cfg.LLCPolicy && s.llcShared == cfg.SharedLLC {
+		if cfg.SharedLLC {
+			s.llcs[0].Reset()
+		} else {
+			for _, llc := range s.llcs {
+				llc.Reset()
+			}
 		}
 		return &s.llcs
 	}
-	for i := range s.llcs {
-		s.llcs[i] = cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy)
+	if cfg.SharedLLC {
+		shared := cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy)
+		for i := range s.llcs {
+			s.llcs[i] = shared
+		}
+	} else {
+		for i := range s.llcs {
+			s.llcs[i] = cache.New(cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy)
+		}
 	}
-	s.llcBytes, s.llcAssoc, s.llcPolicy = cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy
+	s.llcBytes, s.llcAssoc, s.llcPolicy, s.llcShared = cfg.LLCBytes, cfg.LLCAssoc, cfg.LLCPolicy, cfg.SharedLLC
 	return &s.llcs
 }
 
@@ -306,9 +471,17 @@ func RunWith(cfg Config, s *Scratch) Result {
 	}
 	var states [4]coreState
 	llcs := s.resetLLCs(cfg)
+	benchmarks := cfg.Mix.Benchmarks
+	if len(cfg.Tenants) > 0 {
+		tb, err := workload.TenantBenchmarks(cfg.Tenants)
+		if err != nil {
+			panic("sim: " + err.Error())
+		}
+		benchmarks = tb
+	}
 	base := uint64(0)
 	for i := range states {
-		b := cfg.Mix.Benchmarks[i]
+		b := benchmarks[i]
 		var src workload.Source
 		if cfg.Sources[i] != nil {
 			src = cfg.Sources[i]
@@ -391,6 +564,9 @@ func RunWith(cfg Config, s *Scratch) Result {
 		if st.core.Now() > slowest {
 			slowest = st.core.Now()
 		}
+		if cfg.SharedLLC && i > 0 {
+			continue // all four states alias one LLC; count it once
+		}
 		h, m, _, _ := st.llc.Stats()
 		hits += h
 		misses += m
@@ -407,10 +583,11 @@ func RunWith(cfg Config, s *Scratch) Result {
 		res.UpgradedAccessFraction = float64(upgradedFetches) / float64(demandFetches)
 	}
 
-	const nsPerDRAMCycle = 3.0
-	const totalDevices = 72
-	elapsedNS := float64(res.ElapsedDRAMCycles) * nsPerDRAMCycle
+	// The clock period and device count follow the generation the scratch
+	// built this system from (3.0 ns and 72 devices for the paper's DDR2).
+	sys := int(cfg.System)
+	elapsedNS := float64(res.ElapsedDRAMCycles) * s.nsPerCyc[sys]
 	active := mem.BankUtilization(res.ElapsedDRAMCycles)
-	res.PowerMW = meter.AveragePowerMW(elapsedNS, totalDevices, active, 0.9)
+	res.PowerMW = meter.AveragePowerMW(elapsedNS, s.devices[sys], active, 0.9)
 	return res
 }

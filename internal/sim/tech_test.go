@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"arcc/internal/dram"
+	"arcc/internal/workload"
+)
+
+// techConfig returns a short run on a given generation.
+func techConfig(system MemorySystem, tech Tech) Config {
+	cfg := DefaultConfig(workload.Mixes()[0], system)
+	cfg.InstructionsPerCore = 120_000
+	cfg.Tech = tech
+	cfg.CPUCyclesPerDRAMCycle = tech.CPR()
+	return cfg
+}
+
+func TestTechAxisDeterministicAndDistinct(t *testing.T) {
+	ddr2 := Run(techConfig(ARCC, Tech{}))
+	for _, tech := range []Tech{
+		{Generation: dram.DDR4},
+		{Generation: dram.DDR4, Width: 16},
+		{Generation: dram.DDR5},
+		{Generation: dram.DDR5, Width: 4},
+	} {
+		a := Run(techConfig(ARCC, tech))
+		b := Run(techConfig(ARCC, tech))
+		if a != b {
+			t.Fatalf("%v x%d: nondeterministic:\n%+v\n%+v", tech.Generation, tech.Width, a, b)
+		}
+		if a == ddr2 {
+			t.Fatalf("%v x%d: identical to DDR2 — tech axis not wired", tech.Generation, tech.Width)
+		}
+		if a.IPCSum <= 0 || a.PowerMW <= 0 {
+			t.Fatalf("%v x%d: degenerate result %+v", tech.Generation, tech.Width, a)
+		}
+	}
+}
+
+func TestTechZeroValueMatchesLegacyDDR2(t *testing.T) {
+	// The zero Tech must book byte-identically to the pre-axis simulator,
+	// including through a scratch that ran a DDR5 config in between (cache
+	// keyed on tech, not just system).
+	s := NewScratch()
+	ref := RunWith(techConfig(ARCC, Tech{}), s)
+	RunWith(techConfig(ARCC, Tech{Generation: dram.DDR5}), s)
+	again := RunWith(techConfig(ARCC, Tech{}), s)
+	if ref != again {
+		t.Fatalf("legacy DDR2 result changed after a DDR5 run on the same scratch:\n%+v\n%+v", ref, again)
+	}
+	// Width 8 normalises to the zero Tech.
+	if w8 := Run(techConfig(ARCC, Tech{Width: 8})); w8 != ref {
+		t.Fatalf("DDR2 x8 differs from zero Tech:\n%+v\n%+v", w8, ref)
+	}
+}
+
+func TestTechRejectsUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DDR2 x16 accepted")
+		}
+	}()
+	Run(techConfig(ARCC, Tech{Generation: dram.DDR2, Width: 16}))
+}
+
+func TestTechCPR(t *testing.T) {
+	for _, tc := range []struct {
+		tech Tech
+		want int64
+	}{
+		{Tech{}, 9},
+		{Tech{Generation: dram.DDR4}, 3},
+		{Tech{Generation: dram.DDR5}, 1},
+	} {
+		if got := tc.tech.CPR(); got != tc.want {
+			t.Errorf("%v: CPR = %d, want %d", tc.tech.Generation, got, tc.want)
+		}
+	}
+}
+
+func TestDDR5ARCCStillSavesPower(t *testing.T) {
+	// The paper's mechanism — relaxed accesses touch fewer devices — must
+	// survive the generation change, not just the DDR2 calibration.
+	arcc := Run(techConfig(ARCC, Tech{Generation: dram.DDR5}))
+	base := Run(techConfig(Baseline, Tech{Generation: dram.DDR5}))
+	if arcc.PowerMW >= base.PowerMW {
+		t.Fatalf("DDR5 ARCC power %.2f mW >= baseline %.2f mW", arcc.PowerMW, base.PowerMW)
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// Four instances of a tenant whose 768 KB working set fits a private
+	// 1 MB LLC but whose combined 3 MB cannot fit one shared 1 MB LLC.
+	base := shortConfig(0, ARCC)
+	base.Tenants = []workload.Tenant{{Benchmark: "mcf2006", FootprintLines: 12288}}
+	private := Run(base)
+
+	shared := base
+	shared.SharedLLC = true
+	a := Run(shared)
+	b := Run(shared)
+	if a != b {
+		t.Fatalf("shared-LLC run nondeterministic:\n%+v\n%+v", a, b)
+	}
+	if a.LLCHitRate >= private.LLCHitRate {
+		t.Fatalf("shared 1MB hit rate %.4f >= private 4x1MB %.4f; contention not modelled", a.LLCHitRate, private.LLCHitRate)
+	}
+	// Giving the shared LLC the same total capacity recovers most of it.
+	bigShared := shared
+	bigShared.LLCBytes = 4 << 20
+	c := Run(bigShared)
+	if c.LLCHitRate <= a.LLCHitRate {
+		t.Fatalf("4MB shared hit rate %.4f <= 1MB shared %.4f", c.LLCHitRate, a.LLCHitRate)
+	}
+}
+
+func TestTenantsOverrideMix(t *testing.T) {
+	cfg := shortConfig(0, ARCC)
+	cfg.Tenants = []workload.Tenant{{Benchmark: "mcf2006"}, {Benchmark: "swim"}}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Fatalf("tenant run nondeterministic:\n%+v\n%+v", a, b)
+	}
+	if a == Run(shortConfig(0, ARCC)) {
+		t.Fatal("tenants did not change the run; mix override not wired")
+	}
+	// A footprint override must change cache behaviour.
+	cfg2 := cfg
+	cfg2.Tenants = []workload.Tenant{{Benchmark: "mcf2006", FootprintLines: 1 << 26}, {Benchmark: "swim"}}
+	if c := Run(cfg2); c.LLCHitRate == a.LLCHitRate && c.MemReads == a.MemReads {
+		t.Fatal("footprint override had no effect")
+	}
+}
+
+func TestTraceSourcesDriveSim(t *testing.T) {
+	// Record a short trace per core, then run the simulator twice from
+	// clones of the same loaded traces: results must be identical, and a
+	// trace-driven run must match the equivalent synthetic run it was
+	// recorded from.
+	cfg := shortConfig(0, ARCC)
+	ref := Run(cfg)
+
+	var traces [4]*workload.TraceSource
+	for i := range traces {
+		b := cfg.Mix.Benchmarks[i]
+		var base uint64
+		for j := 0; j < i; j++ {
+			base += uint64(cfg.Mix.Benchmarks[j].FootprintLines)
+			base = (base + 63) &^ 63
+		}
+		s := b.NewStream(cfg.Seed+int64(i)*7919, base)
+		var buf bytes.Buffer
+		// Generously more accesses than the run consumes.
+		if _, err := workload.Record(&buf, s, 600_000); err != nil {
+			t.Fatal(err)
+		}
+		src, err := workload.LoadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = src
+	}
+
+	run := func() Result {
+		c := cfg
+		for i := range traces {
+			c.Sources[i] = traces[i].Clone()
+		}
+		return Run(c)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("trace-driven runs diverge:\n%+v\n%+v", a, b)
+	}
+	if a != ref {
+		t.Fatalf("trace replay differs from the synthetic run it recorded:\n%+v\n%+v", a, ref)
+	}
+}

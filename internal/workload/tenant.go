@@ -1,0 +1,62 @@
+package workload
+
+import "fmt"
+
+// Tenant describes one tenant of a multi-tenant interference mix: a named
+// benchmark profile with optional per-tenant overrides. Cloud/HPC nodes
+// rarely run the neat four-benchmark mixes of Table 7.3 — they co-schedule
+// tenants with wildly different footprints on shared last-level caches,
+// and the interference is the point. The scenario layer passes tenants
+// straight from JSON, so a new interference study is data, not code.
+type Tenant struct {
+	// Benchmark names the base profile (a Table 7.3 SPEC stand-in name,
+	// e.g. "mcf2006").
+	Benchmark string `json:"benchmark"`
+	// FootprintLines overrides the profile's working-set size in 64 B
+	// lines (0 keeps the profile value). Terabyte-scale footprints are
+	// fine: the simulator tracks addresses, and the functional core's
+	// sparse store materialises only touched pages.
+	FootprintLines int `json:"footprint_lines,omitempty"`
+	// APKI overrides the profile's accesses-per-kilo-instruction
+	// (0 keeps the profile value).
+	APKI float64 `json:"apki,omitempty"`
+}
+
+// Resolve returns the tenant's effective benchmark profile.
+func (t Tenant) Resolve() (Benchmark, error) {
+	b, ok := spec[t.Benchmark]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workload: unknown tenant benchmark %q", t.Benchmark)
+	}
+	if t.FootprintLines < 0 || t.APKI < 0 {
+		return Benchmark{}, fmt.Errorf("workload: tenant %q has negative overrides", t.Benchmark)
+	}
+	if t.FootprintLines > 0 {
+		b.FootprintLines = t.FootprintLines
+	}
+	if t.APKI > 0 {
+		b.APKI = t.APKI
+	}
+	return b, nil
+}
+
+// TenantBenchmarks maps 1-4 tenants onto the simulator's four cores,
+// round-robin: a single tenant occupies all four cores (four instances
+// with disjoint address regions), two tenants alternate, and so on. The
+// per-core benchmark name is suffixed with the core index so result tables
+// stay readable.
+func TenantBenchmarks(tenants []Tenant) ([4]Benchmark, error) {
+	var out [4]Benchmark
+	if len(tenants) == 0 || len(tenants) > 4 {
+		return out, fmt.Errorf("workload: %d tenants (want 1-4)", len(tenants))
+	}
+	for i := range out {
+		b, err := tenants[i%len(tenants)].Resolve()
+		if err != nil {
+			return out, err
+		}
+		b.Name = fmt.Sprintf("%s/t%d", b.Name, i%len(tenants))
+		out[i] = b
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // Trace recording and replay: a compact binary format for memory access
@@ -113,6 +114,89 @@ const maxInt = int(^uint(0) >> 1)
 
 // Count returns the number of records read so far.
 func (t *TraceReader) Count() int64 { return t.count }
+
+// TraceSource replays a fully-loaded trace as a Source. Unlike the
+// streaming TraceReader it holds the whole trace in memory, which buys the
+// two properties multi-shard replay needs: deterministic rewind (Rewind
+// returns the cursor to the first access, so every run over the source
+// sees the identical sequence) and cheap clones (Clone shares the loaded
+// access slice and gets an independent cursor, so each simulator core —
+// and each Monte Carlo shard — replays the same trace without re-reading
+// or re-decoding the file).
+type TraceSource struct {
+	accesses []Access // shared with clones; immutable after load
+	pos      int
+	wrapped  bool
+}
+
+// NewTraceSource wraps a loaded access sequence.
+func NewTraceSource(accesses []Access) *TraceSource {
+	if len(accesses) == 0 {
+		panic("workload: empty trace source")
+	}
+	return &TraceSource{accesses: accesses}
+}
+
+// LoadTrace decodes a whole trace stream into a TraceSource.
+func LoadTrace(r io.Reader) (*TraceSource, error) {
+	accesses, err := ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(accesses) == 0 {
+		return nil, fmt.Errorf("%w: trace holds no records", ErrBadTrace)
+	}
+	return NewTraceSource(accesses), nil
+}
+
+// LoadTraceFile decodes the trace file at path into a TraceSource.
+func LoadTraceFile(path string) (*TraceSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening trace: %w", err)
+	}
+	defer f.Close()
+	src, err := LoadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace %s: %w", path, err)
+	}
+	return src, nil
+}
+
+// Next implements Source. Past the end of the trace it wraps to the
+// beginning (Wrapped reports that it did).
+func (t *TraceSource) Next() Access {
+	a := t.accesses[t.pos]
+	t.pos++
+	if t.pos == len(t.accesses) {
+		t.pos = 0
+		t.wrapped = true
+	}
+	return a
+}
+
+// Rewind returns the cursor to the first access, so the next run over the
+// source replays the identical sequence.
+func (t *TraceSource) Rewind() {
+	t.pos = 0
+	t.wrapped = false
+}
+
+// Clone returns an independent cursor over the same loaded trace. Clones
+// share the (immutable) access slice, so handing one to each simulator
+// core or each shard of a fan-out costs no copying.
+func (t *TraceSource) Clone() *TraceSource {
+	return &TraceSource{accesses: t.accesses}
+}
+
+// Len returns the number of accesses in the trace.
+func (t *TraceSource) Len() int { return len(t.accesses) }
+
+// Wrapped reports whether replay has passed the end of the trace at least
+// once since the last Rewind.
+func (t *TraceSource) Wrapped() bool { return t.wrapped }
+
+var _ Source = (*TraceSource)(nil)
 
 // Record captures n accesses from a stream into w. It returns the
 // number of records accepted; when a mid-stream write fails it flushes

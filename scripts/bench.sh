@@ -36,6 +36,12 @@ run -bench='SampleArrivals' ./internal/faultmodel/
 run -bench='WelfordAdd|WeightedAdd|QuantileSketch' ./internal/stats/
 run -bench='RunWeighted' ./internal/mc/
 run -bench='LifetimeOverheadStatsConditional' ./internal/reliability/
+# The paged sparse memory core (PR 10): a terabyte-span line sweep over
+# lazily materialised pages — ns/op and B/op gate the zero-alloc
+# steady-state contract, and the bytes-resident/pages-resident metrics
+# record the footprint-proportional residency — plus first-touch page
+# materialisation cost.
+run -bench='PagedMemTerabyteSweep|PagedMemMaterialise' ./internal/pagedmem/
 # Scheme-level scratch decode paths (the functional data path's per-access
 # work) and the full-system simulator steady state (PR 3's hot path).
 run -bench='DecodeInto|DecodeLegacy' ./internal/ecc/
@@ -48,16 +54,19 @@ run -bench='Fig71|Fig72|Fig73|Fig74' -benchtime=3x .
 awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
-    name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
+    name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"; pages = ""
     for (i = 3; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "pages-resident") pages = $i
     }
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
            name, iters, ns, bytes, allocs)
+    if (pages != "") printf(", \"pages_resident\": %s", pages)
+    printf("}")
 }
 END { print "\n]" }
 ' "$raw" >"$out"
